@@ -1,0 +1,96 @@
+// Ablation study — the design choices DESIGN.md calls out:
+//
+//  (1) R⁴ scheduling strategy (paper Sec. 5.2.2): the trivial
+//      owner-sequential strawman, the shared-worker middle ground, and
+//      the paper's one-to-one computing-unit mapping.  The one-to-one
+//      mapping is the contribution; this table shows when (and how much)
+//      it actually pays.
+//  (2) Collective algorithm: binomial trees (the paper's counting
+//      convention) vs pipelined scatter/ring collectives (production-MPI
+//      long-message algorithms) — the log p bandwidth factor vs an O(p)
+//      latency factor.
+#include "bench_common.hpp"
+#include "core/sparse_apsp.hpp"
+
+namespace capsp::bench {
+namespace {
+
+SparseApspResult run_with(const Graph& graph, int h, R4Strategy strategy,
+                          CollectiveAlgorithm collectives) {
+  SparseApspOptions options;
+  options.height = h;
+  options.r4_strategy = strategy;
+  options.collectives = collectives;
+  options.collect_distances = false;
+  return run_sparse_apsp(graph, options);
+}
+
+void r4_strategies(const Graph& graph) {
+  std::cout << "R4 strategy ablation (binomial-tree collectives):\n";
+  TextTable table({"h", "p", "L one-to-one", "L shared", "L sequential",
+                   "seq/one", "B one-to-one", "B sequential"});
+  for (int h : {3, 4, 5}) {
+    const auto one = run_with(graph, h, R4Strategy::kOneToOne,
+                              CollectiveAlgorithm::kBinomialTree);
+    const auto shared = run_with(graph, h, R4Strategy::kSharedWorkers,
+                                 CollectiveAlgorithm::kBinomialTree);
+    const auto seq = run_with(graph, h, R4Strategy::kSequential,
+                              CollectiveAlgorithm::kBinomialTree);
+    table.add_row({TextTable::num(h), TextTable::num(one.num_ranks),
+                   TextTable::num(one.costs.critical_latency, 5),
+                   TextTable::num(shared.costs.critical_latency, 5),
+                   TextTable::num(seq.costs.critical_latency, 5),
+                   TextTable::num(seq.costs.critical_latency /
+                                      one.costs.critical_latency,
+                                  3),
+                   TextTable::num(one.costs.critical_bandwidth, 6),
+                   TextTable::num(seq.costs.critical_bandwidth, 6)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "reading: at small p the strawmen are competitive (fan-out costs "
+      "two extra hops); from p ≈ 10³ the sequential strategy's Θ(√p) "
+      "per-level receives dominate and the one-to-one mapping pulls "
+      "ahead — the asymptotic claim of Lemma 5.1/Cor. 5.5.\n";
+}
+
+void collective_algorithms(const Graph& graph) {
+  std::cout << "\ncollective-algorithm ablation (one-to-one R4):\n";
+  TextTable table({"h", "p", "L tree", "L pipelined", "B tree",
+                   "B pipelined", "B tree/pipe"});
+  for (int h : {3, 4, 5}) {
+    const auto tree = run_with(graph, h, R4Strategy::kOneToOne,
+                               CollectiveAlgorithm::kBinomialTree);
+    const auto pipe = run_with(graph, h, R4Strategy::kOneToOne,
+                               CollectiveAlgorithm::kPipelined);
+    table.add_row({TextTable::num(h), TextTable::num(tree.num_ranks),
+                   TextTable::num(tree.costs.critical_latency, 5),
+                   TextTable::num(pipe.costs.critical_latency, 5),
+                   TextTable::num(tree.costs.critical_bandwidth, 6),
+                   TextTable::num(pipe.costs.critical_bandwidth, 6),
+                   TextTable::num(tree.costs.critical_bandwidth /
+                                      pipe.costs.critical_bandwidth,
+                                  3)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "reading: pipelining shaves the log p broadcast-bandwidth factor "
+      "once groups are large (h = 5) but costs Θ(group) messages — the "
+      "paper's binomial-tree convention is the right choice for its "
+      "latency-optimal regime.\n";
+}
+
+}  // namespace
+}  // namespace capsp::bench
+
+int main() {
+  capsp::bench::print_header(
+      "Ablations: R4 scheduling strategy and collective algorithm",
+      "Sec. 5.2.2 (strategies); Sec. 3.1/5.4 counting convention");
+  capsp::Rng rng(41);
+  const capsp::Graph graph = capsp::bench::make_grid_family(576, rng);
+  std::cout << "graph: 2D grid, n=" << graph.num_vertices() << "\n\n";
+  capsp::bench::r4_strategies(graph);
+  capsp::bench::collective_algorithms(graph);
+  return 0;
+}

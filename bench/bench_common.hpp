@@ -1,0 +1,63 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary reproduces one table/figure of the paper (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for the reading); they
+// all print aligned text tables on stdout and exit 0, so
+// `for b in build/bench/*; do $b; done` regenerates every artifact.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace capsp::bench {
+
+/// Named graph family for sweeps.
+struct Family {
+  std::string name;
+  /// Build an instance with ~n vertices.
+  Graph (*make)(Vertex n, Rng& rng);
+};
+
+inline Graph make_grid_family(Vertex n, Rng& rng) {
+  const auto side = static_cast<Vertex>(isqrt(static_cast<std::uint64_t>(n)));
+  return make_grid2d(side, side, rng);
+}
+
+inline Graph make_grid3d_family(Vertex n, Rng& rng) {
+  const auto side = static_cast<Vertex>(
+      std::llround(std::cbrt(static_cast<double>(n))));
+  return make_grid3d(side, side, side, rng);
+}
+
+inline Graph make_er_family(Vertex n, Rng& rng) {
+  return make_erdos_renyi(n, 8.0, rng);
+}
+
+inline Graph make_geometric_family(Vertex n, Rng& rng) {
+  // Radius ~ c/√n keeps the expected degree constant.
+  return make_random_geometric(n, 2.2 / std::sqrt(static_cast<double>(n)),
+                               rng);
+}
+
+inline Graph make_tree_family(Vertex n, Rng& rng) {
+  return make_random_tree(n, rng);
+}
+
+inline Graph make_rmat_family(Vertex n, Rng& rng) {
+  return make_rmat(n, 8.0, rng);
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "paper artifact: " << paper_ref << "\n\n";
+}
+
+}  // namespace capsp::bench

@@ -1,0 +1,116 @@
+// Experiment L5.6/T5.7 — latency scaling (Lemma 5.6, Theorem 5.7):
+// measured critical-path latency of 2D-SPARSE-APSP vs p, compared with
+// c·log²p, plus the per-level latency budget, plus the baselines'
+// latency growth (2D-DC-APSP ~ √p·log²p; block-cyclic FW ~ nb·log p,
+// the Sec. 5.1 argument for the block layout).
+#include <cmath>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/fw2d.hpp"
+#include "bench_common.hpp"
+#include "core/sparse_apsp.hpp"
+#include "util/fit.hpp"
+
+namespace capsp::bench {
+namespace {
+
+void sparse_latency(const Graph& graph) {
+  print_header("Latency of 2D-SPARSE-APSP vs p",
+               "Theorem 5.7: L = O(log² p)");
+  TextTable table({"h", "p", "L", "log2(p)^2", "L/log2(p)^2"});
+  std::vector<double> p_values, latency;
+  for (int h : {2, 3, 4, 5, 6}) {  // up to p = 3969 simulated ranks
+    SparseApspOptions options;
+    options.height = h;
+    options.collect_distances = false;
+    const SparseApspResult result = run_sparse_apsp(graph, options);
+    const double p = result.num_ranks;
+    const double log2p = std::log2(p);
+    p_values.push_back(p);
+    latency.push_back(result.costs.critical_latency);
+    table.add_row({TextTable::num(h), TextTable::num(result.num_ranks),
+                   TextTable::num(result.costs.critical_latency, 6),
+                   TextTable::num(log2p * log2p, 4),
+                   TextTable::num(result.costs.critical_latency /
+                                      (log2p * log2p),
+                                  3)});
+  }
+  table.print(std::cout);
+  std::cout << "reading: the last column must stay ~flat (L = Θ(log²p)); "
+               "a √p algorithm would grow it by "
+            << TextTable::num(std::sqrt(p_values.back() / p_values.front()),
+                              3)
+            << "x over this sweep.\n";
+
+  // Lemma 5.6: the per-level breakdown of the critical latency.
+  std::cout << "\nper-level critical latency L_l (Lemma 5.6: each O(log p))"
+            << ":\n";
+  TextTable levels({"h", "p", "log2(p)", "L_1", "L_2", "L_3", "L_4", "L_5"});
+  for (int h : {3, 4, 5}) {
+    SparseApspOptions options;
+    options.height = h;
+    options.collect_distances = false;
+    const SparseApspResult result = run_sparse_apsp(graph, options);
+    std::vector<std::string> row{
+        TextTable::num(h), TextTable::num(result.num_ranks),
+        TextTable::num(std::log2(static_cast<double>(result.num_ranks)),
+                       3)};
+    double previous = 0;
+    for (int l = 1; l <= 5; ++l) {
+      if (l <= h) {
+        const double after =
+            result.clock_after_level[static_cast<std::size_t>(l - 1)]
+                .latency;
+        row.push_back(TextTable::num(after - previous, 4));
+        previous = after;
+      } else {
+        row.push_back("-");
+      }
+    }
+    levels.add_row(row);
+  }
+  levels.print(std::cout);
+  std::cout << "reading: every entry stays within a small multiple of "
+               "log2(p) — the per-level bound that makes the total "
+               "O(log²p).\n";
+}
+
+void baseline_latency(const Graph& graph) {
+  print_header("Latency of the dense baselines vs p",
+               "Table 2 (L_dc = O(√p·log²p)); Sec. 2 (Jenq–Sahni O(n))");
+  TextTable table({"algorithm", "p", "L", "L/(sqrt(p)·log2(p)^2)"});
+  for (int q : {2, 4, 8, 16}) {
+    const DistributedApspResult result = run_dc_apsp(graph, q);
+    const double p = q * q;
+    const double model = std::sqrt(p) * std::log2(p) * std::log2(p);
+    table.add_row({"2D-DC-APSP", TextTable::num(q * q),
+                   TextTable::num(result.costs.critical_latency, 6),
+                   TextTable::num(result.costs.critical_latency / model,
+                                  3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nblock-cyclic layouts (Sec. 5.1: latency grows with the "
+               "number of block rows nb):\n";
+  TextTable cyc({"layout", "nb", "L"});
+  for (int nb : {4, 8, 16, 32, 64}) {
+    const DistributedApspResult result = run_fw2d(graph, 4, nb);
+    cyc.add_row({nb == 4 ? "block (nb=q)" : "block-cyclic",
+                 TextTable::num(nb),
+                 TextTable::num(result.costs.critical_latency, 6)});
+  }
+  cyc.print(std::cout);
+  std::cout << "reading: latency scales ~linearly in nb — the reason "
+               "2D-SPARSE-APSP keeps one block per processor.\n";
+}
+
+}  // namespace
+}  // namespace capsp::bench
+
+int main() {
+  capsp::Rng rng(7);
+  const capsp::Graph graph = capsp::bench::make_grid_family(576, rng);
+  capsp::bench::sparse_latency(graph);
+  capsp::bench::baseline_latency(graph);
+  return 0;
+}

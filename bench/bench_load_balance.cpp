@@ -1,0 +1,141 @@
+// Experiment on Sec. 5.1's load-balance discussion: the paper argues the
+// block layout suits its FW-style algorithm because "all blocks A(i,j)
+// are updated in each iteration", unlike right-looking LU where low-index
+// processors idle.  This harness *measures* per-rank computation in the
+// distributed sparse algorithm and reports the imbalance profile — and is
+// honest about the nuance: the sparsity that saves communication also
+// concentrates computation on the related-block ranks; cousin-block ranks
+// do little work until high levels.  The numbers quantify both effects.
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/dc_cyclic.hpp"
+#include "baseline/fw2d.hpp"
+#include "bench_common.hpp"
+#include "core/sparse_apsp.hpp"
+
+namespace capsp::bench {
+namespace {
+
+struct OpsProfile {
+  std::int64_t total = 0, peak = 0;
+  double busy_percent = 0, skew = 0;
+};
+
+OpsProfile profile(const std::vector<std::int64_t>& ops) {
+  OpsProfile out;
+  for (std::int64_t o : ops) {
+    out.total += o;
+    out.peak = std::max(out.peak, o);
+    out.busy_percent += (o > 0);
+  }
+  const double mean =
+      static_cast<double>(out.total) / static_cast<double>(ops.size());
+  out.skew = static_cast<double>(out.peak) / std::max(mean, 1.0);
+  out.busy_percent = 100.0 * out.busy_percent / static_cast<double>(ops.size());
+  return out;
+}
+
+void dense_layout_comparison(const Graph& graph) {
+  // Sec. 5.1's central argument: with a *block* layout, divide-and-conquer
+  // algorithms idle most processors during the quadrant subproblems —
+  // that is why 2D-DC-APSP uses block-cyclic.  Measured head-to-head: DC
+  // on the block layout vs FW on block (nb=q) and block-cyclic (nb>q).
+  std::cout << "\ndense baselines at p = 16 (Sec. 5.1's layout argument):\n";
+  TextTable table({"algorithm / layout", "total ops", "max/mean skew",
+                   "busy ranks %"});
+  const auto dc = run_dc_apsp(graph, 4);
+  const OpsProfile dc_profile = profile(dc.ops_per_rank);
+  table.add_row({"2D-DC-APSP, block layout", TextTable::num(dc_profile.total),
+                 TextTable::num(dc_profile.skew, 3),
+                 TextTable::num(dc_profile.busy_percent, 4)});
+  for (int nb : {8, 16}) {
+    const auto dcc = run_dc_apsp_cyclic(graph, 4, nb);
+    const OpsProfile dcc_profile = profile(dcc.ops_per_rank);
+    table.add_row({"2D-DC-APSP, block-cyclic (nb=" + std::to_string(nb) +
+                       ")",
+                   TextTable::num(dcc_profile.total),
+                   TextTable::num(dcc_profile.skew, 3),
+                   TextTable::num(dcc_profile.busy_percent, 4)});
+  }
+  for (int nb : {4, 8, 16}) {
+    const auto fw = run_fw2d(graph, 4, nb);
+    const OpsProfile fw_profile = profile(fw.ops_per_rank);
+    table.add_row({std::string("2D-FW, ") +
+                       (nb == 4 ? "block layout (nb=q)"
+                                : "block-cyclic (nb=" + std::to_string(nb) +
+                                      ")"),
+                   TextTable::num(fw_profile.total),
+                   TextTable::num(fw_profile.skew, 3),
+                   TextTable::num(fw_profile.busy_percent, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "reading: total-ops skew is the aggregate proxy for Sec. "
+               "5.1's idleness argument — DC on the block layout is the "
+               "most skewed (its quadrant recursions concentrate FW work "
+               "on subsets of the grid); giving DC a block-cyclic layout "
+               "(reference [24]'s actual choice, implemented in "
+               "dc_cyclic.cpp) flattens it, as does the FW-style "
+               "schedule.  The sparse algorithm (tables above) gets "
+               "FW-like balance from the plain block layout, which is "
+               "exactly the paper's Sec. 5.1 claim.\n";
+}
+
+void run(const Family& family, Vertex n_target) {
+  Rng rng(51);
+  const Graph graph = family.make(n_target, rng);
+  std::cout << "\nfamily: " << family.name << " (n=" << graph.num_vertices()
+            << ")\n";
+  TextTable table({"h", "p", "total ops", "mean ops/rank", "max ops/rank",
+                   "max/mean", "busy ranks %"});
+  for (int h : {2, 3, 4}) {
+    SparseApspOptions options;
+    options.height = h;
+    options.collect_distances = false;
+    const SparseApspResult result = run_sparse_apsp(graph, options);
+    const auto& ops = result.ops_per_rank;
+    const std::int64_t total =
+        std::accumulate(ops.begin(), ops.end(), std::int64_t{0});
+    const std::int64_t peak = *std::max_element(ops.begin(), ops.end());
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(ops.size());
+    const auto busy = static_cast<std::int64_t>(
+        std::count_if(ops.begin(), ops.end(),
+                      [&](std::int64_t o) { return o > 0; }));
+    table.add_row(
+        {TextTable::num(h), TextTable::num(result.num_ranks),
+         TextTable::num(total), TextTable::num(mean, 5),
+         TextTable::num(peak),
+         TextTable::num(static_cast<double>(peak) / std::max(mean, 1.0), 3),
+         TextTable::num(100.0 * static_cast<double>(busy) /
+                            static_cast<double>(ops.size()),
+                        4)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace capsp::bench
+
+int main() {
+  using namespace capsp::bench;
+  print_header("Computation distribution across ranks",
+               "Sec. 5.1 load-balance discussion (measured)");
+  run({"grid2d", make_grid_family}, 576);
+  run({"erdos_renyi", make_er_family}, 576);
+  {
+    capsp::Rng rng(52);
+    capsp::bench::dense_layout_comparison(
+        capsp::bench::make_grid_family(576, rng));
+  }
+  std::cout <<
+      "\nreading: every rank that owns a related (non-cousin) block "
+      "computes — the FW-style schedule keeps them all active per level, "
+      "unlike right-looking LU.  The max/mean ratio quantifies the "
+      "residual skew: diagonal/panel ranks of big leaf blocks do the most "
+      "work; structurally-empty cousin blocks (the majority on sparse "
+      "graphs) cost nothing, which is the flip side of the communication "
+      "the algorithm avoids.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment LB — Sec. 6 lower bounds: measured costs vs
+// B_lb = Ω(n²/p + |S|²) and L_lb = Ω(log²p).  The paper claims the
+// algorithm is bandwidth-near-optimal (within log²p) and latency-optimal;
+// the "gap" columns here are the measured optimality gaps, which must be
+// bounded by a polylog factor.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/sparse_apsp.hpp"
+
+namespace capsp::bench {
+namespace {
+
+void run(const Family& family, Vertex n_target) {
+  Rng rng(11);
+  const Graph graph = family.make(n_target, rng);
+  std::cout << "\nfamily: " << family.name << " (n=" << graph.num_vertices()
+            << ", m=" << graph.num_edges() << ")\n";
+  TextTable table({"h", "p", "|S|", "B", "B_lowerbound", "B/B_lb",
+                   "log2(p)^2", "L", "L_lowerbound", "L/L_lb"});
+  for (int h : {2, 3, 4, 5}) {
+    SparseApspOptions options;
+    options.height = h;
+    options.collect_distances = false;
+    const SparseApspResult result = run_sparse_apsp(graph, options);
+    const double n = graph.num_vertices();
+    const double p = result.num_ranks;
+    const double s = result.separator_size;
+    const double b_lb = n * n / p + s * s;
+    const double log2p = std::log2(p);
+    const double l_lb = log2p * log2p;
+    table.add_row(
+        {TextTable::num(h), TextTable::num(result.num_ranks),
+         TextTable::num(static_cast<std::int64_t>(result.separator_size)),
+         TextTable::num(result.costs.critical_bandwidth, 6),
+         TextTable::num(b_lb, 5),
+         TextTable::num(result.costs.critical_bandwidth / b_lb, 3),
+         TextTable::num(l_lb, 4),
+         TextTable::num(result.costs.critical_latency, 5),
+         TextTable::num(l_lb, 4),
+         TextTable::num(result.costs.critical_latency / l_lb, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace capsp::bench
+
+int main() {
+  using namespace capsp::bench;
+  print_header("Lower-bound comparison for 2D-SPARSE-APSP",
+               "Sec. 6, Theorem 6.5; Table 2 last column");
+  run({"grid2d", make_grid_family}, 784);
+  run({"random_tree", make_tree_family}, 784);
+  std::cout <<
+      "\nreading: B/B_lb must stay within O(log²p) (near-optimal "
+      "bandwidth); L/L_lb must stay O(1) (optimal latency).\n";
+  return 0;
+}

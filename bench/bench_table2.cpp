@@ -1,0 +1,76 @@
+// Experiment T2-M / T2-B / T2-L — reproduction of the paper's Table 2:
+// per-process memory M, bandwidth cost B, and latency cost L of
+// 2D-SPARSE-APSP versus 2D-DC-APSP, measured on the metered machine.
+//
+// The paper's table is asymptotic; this harness prints the measured
+// quantities for matched machine sizes (√p of the sparse algorithm is
+// 2^h - 1; DC uses the nearest power of two), plus the ratios the paper's
+// Sec. 5.5 headlines:  L ratio ≈ √p/log p  and  B ratio growing with p
+// for small-separator graphs.
+#include <cmath>
+
+#include "baseline/dc_apsp.hpp"
+#include "bench_common.hpp"
+#include "core/sparse_apsp.hpp"
+#include "util/timer.hpp"
+
+namespace capsp::bench {
+namespace {
+
+void run(Vertex n_target) {
+  print_header("Table 2: memory / bandwidth / latency, sparse vs dense",
+               "Table 2 (Sec. 5.4, Sec. 5.5)");
+  Rng rng(42);
+  const Graph graph = make_grid_family(n_target, rng);
+  const auto n = graph.num_vertices();
+  std::cout << "graph: 2D grid, n=" << n << " m=" << graph.num_edges()
+            << " (|S| = Θ(√n) family)\n\n";
+
+  TextTable table({"h", "p_sparse", "|S|", "M_sparse", "B_sparse",
+                   "L_sparse", "q_dc", "p_dc", "M_dc", "B_dc", "L_dc",
+                   "B_dc/B_sp", "L_dc/L_sp"});
+  for (int h : {2, 3, 4, 5}) {
+    SparseApspOptions options;
+    options.height = h;
+    options.collect_distances = false;
+    const SparseApspResult sparse = run_sparse_apsp(graph, options);
+
+    const int q = 1 << (h - 1);  // nearest power of two to √p = 2^h - 1
+    const DistributedApspResult dc = run_dc_apsp(graph, q);
+    const auto m_dc = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(n) / q) *
+        std::ceil(static_cast<double>(n) / q));
+
+    table.add_row(
+        {TextTable::num(h), TextTable::num(sparse.num_ranks),
+         TextTable::num(static_cast<std::int64_t>(sparse.separator_size)),
+         TextTable::num(sparse.max_block_words),
+         TextTable::num(sparse.costs.critical_bandwidth, 6),
+         TextTable::num(sparse.costs.critical_latency, 6),
+         TextTable::num(q), TextTable::num(q * q), TextTable::num(m_dc),
+         TextTable::num(dc.costs.critical_bandwidth, 6),
+         TextTable::num(dc.costs.critical_latency, 6),
+         TextTable::num(dc.costs.critical_bandwidth /
+                            sparse.costs.critical_bandwidth,
+                        3),
+         TextTable::num(dc.costs.critical_latency /
+                            sparse.costs.critical_latency,
+                        3)});
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nreading: paper predicts M_sp = O(n²/p + |S|²), B_sp = O(n²·log²p/p"
+      " + |S|²·log²p), L_sp = O(log²p)\n"
+      "         vs M_dc = O(n²/p), B_dc = O(n²/√p), L_dc = O(√p·log²p) —\n"
+      "         so both ratio columns must grow as p grows; L ratio ≈ "
+      "√p/polylog.\n";
+}
+
+}  // namespace
+}  // namespace capsp::bench
+
+int main() {
+  capsp::bench::run(784);  // 28x28 grid
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Domain scenario: capacity planning — "should I run the sparse or the
+// dense algorithm on my graph, and at what machine size?"
+//
+// The answer depends on the separator structure (paper Sec. 5.5): the
+// sparse algorithm's bandwidth is O(n²log²p/p + |S|²log²p), so for
+// expander-like graphs (|S| = Θ(n)) it loses its edge.  This tool runs
+// the ND pre-processing once per candidate machine size, *measures* the
+// separator profile, then meters both algorithms and prints a
+// recommendation table — exactly the decision procedure a user of this
+// library would follow before renting a cluster.
+//
+//   ./cost_planner --graph grid --n 576
+//   ./cost_planner --graph er --n 576
+//   ./cost_planner --file mygraph.txt
+#include <cmath>
+#include <iostream>
+
+#include "baseline/dc_apsp.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace capsp;
+
+Graph build(const std::string& kind, Vertex n, const std::string& file,
+            Rng& rng) {
+  if (!file.empty()) return load_edge_list(file);
+  if (kind == "grid") {
+    const auto side =
+        static_cast<Vertex>(isqrt(static_cast<std::uint64_t>(n)));
+    return make_grid2d(side, side, rng);
+  }
+  if (kind == "er") return make_erdos_renyi(n, 8.0, rng);
+  if (kind == "tree") return make_random_tree(n, rng);
+  if (kind == "geometric")
+    return make_random_geometric(
+        n, 2.2 / std::sqrt(static_cast<double>(n)), rng);
+  CAPSP_CHECK_MSG(false, "unknown --graph '" << kind
+                                             << "' (grid|er|tree|geometric)");
+  return Graph();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string kind = cli.get_string("graph", "grid");
+  const auto n = static_cast<Vertex>(cli.get_int("n", 576));
+  const std::string file = cli.get_string("file", "");
+  cli.check_unused();
+
+  Rng rng(99);
+  const Graph graph = build(kind, n, file, rng);
+  std::cout << "planning for: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges ("
+            << (file.empty() ? kind : file) << ")\n\n";
+
+  TextTable table({"p_sparse", "|S|", "B_sparse", "L_sparse", "p_dense",
+                   "B_dense", "L_dense", "recommendation"});
+  for (int h : {2, 3, 4}) {
+    SparseApspOptions options;
+    options.height = h;
+    options.collect_distances = false;
+    const SparseApspResult sparse = run_sparse_apsp(graph, options);
+    const int q = 1 << (h - 1);
+    const DistributedApspResult dense = run_dc_apsp(graph, q);
+    const bool sparse_wins =
+        sparse.costs.critical_bandwidth < dense.costs.critical_bandwidth &&
+        sparse.costs.critical_latency < dense.costs.critical_latency;
+    const bool mixed =
+        sparse.costs.critical_bandwidth < dense.costs.critical_bandwidth ||
+        sparse.costs.critical_latency < dense.costs.critical_latency;
+    table.add_row(
+        {TextTable::num(sparse.num_ranks),
+         TextTable::num(static_cast<std::int64_t>(sparse.separator_size)),
+         TextTable::num(sparse.costs.critical_bandwidth, 5),
+         TextTable::num(sparse.costs.critical_latency, 4),
+         TextTable::num(q * q),
+         TextTable::num(dense.costs.critical_bandwidth, 5),
+         TextTable::num(dense.costs.critical_latency, 4),
+         sparse_wins ? "2D-SPARSE-APSP"
+                     : (mixed ? "sparse (latency-bound)" : "2D-DC-APSP")});
+  }
+  table.print(std::cout);
+
+  const double s = static_cast<double>(
+      nested_dissection(graph, 2, rng).top_separator_size());
+  const double nn = graph.num_vertices();
+  std::cout << "\nseparator profile: |S| = " << s << " = " << s / std::sqrt(nn)
+            << "·√n = " << s / nn << "·n\n";
+  std::cout << "rule of thumb (Sec. 5.5): the sparse algorithm is the right "
+               "choice whenever |S| ≪ n/√p — here that means p ≲ "
+            << (s > 0 ? (nn / s) * (nn / s) : 1e9) << ".\n";
+  return 0;
+}

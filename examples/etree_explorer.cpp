@@ -1,0 +1,108 @@
+// Scheduling walkthrough (paper Figures 2-3, Sec. 5.2): draw the
+// elimination tree with the paper's bottom-up labels, list the regions
+// R¹..R⁴ for a chosen level, and show the computing-unit → worker map of
+// Corollary 5.5 — the heart of the O(log²p) latency result.
+//
+//   ./etree_explorer --height 4 --level 2
+#include <iostream>
+
+#include "core/regions.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace capsp;
+
+void draw_tree(const EliminationTree& tree) {
+  for (int l = tree.height(); l >= 1; --l) {
+    const int indent = (1 << (l - 1)) - 1;
+    const int gap = (1 << l) - 1;
+    std::cout << "  level " << l << ": ";
+    for (int sp = 0; sp < indent; ++sp) std::cout << "   ";
+    bool first = true;
+    for (Snode s : tree.level_set(l)) {
+      if (!first)
+        for (int sp = 0; sp < gap; ++sp) std::cout << "   ";
+      std::cout.width(3);
+      std::cout << s;
+      first = false;
+    }
+    std::cout << '\n';
+  }
+}
+
+void show_regions(const EliminationTree& tree, int level) {
+  auto dump = [&](const char* name, const std::vector<BlockId>& region) {
+    std::cout << "  " << name << " (" << region.size() << " blocks): ";
+    std::size_t shown = 0;
+    for (const auto& block : region) {
+      if (shown++ == 14) {
+        std::cout << "...";
+        break;
+      }
+      std::cout << "(" << block.i << "," << block.j << ") ";
+    }
+    std::cout << '\n';
+  };
+  dump("R1 diagonal   ", region_r1(tree, level));
+  dump("R2 panels     ", region_r2(tree, level));
+  dump("R3 single-unit", region_r3(tree, level));
+  dump("R4 multi-unit ", region_r4(tree, level));
+}
+
+void show_units(const EliminationTree& tree, int level) {
+  const auto units = r4_units(tree, level);
+  if (units.empty()) {
+    std::cout << "  (no R4 computing units at the top level)\n";
+    return;
+  }
+  std::cout << "  computing units A(i,k)⊗A(k,j) -> worker P(f,g) "
+               "(Cor. 5.5):\n";
+  for (const auto& unit : units) {
+    std::cout << "    block A(" << unit.i << "," << unit.j << ")  pivot k="
+              << unit.k << "  ->  P(" << unit.f << "," << unit.g << ")\n";
+    if (&unit - units.data() == 19) {
+      std::cout << "    ... (" << units.size() << " total, all on distinct "
+                << "processors)\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int height = static_cast<int>(cli.get_int("height", 4));
+  const int level = static_cast<int>(cli.get_int("level", 2));
+  cli.check_unused();
+  CAPSP_CHECK(level >= 1 && level <= height);
+
+  const EliminationTree tree(height);
+  std::cout << "elimination tree, h = " << height << ", N = √p = "
+            << tree.num_supernodes() << ", p = "
+            << static_cast<std::int64_t>(tree.num_supernodes()) *
+                   tree.num_supernodes()
+            << " (Fig. 2/3a):\n\n";
+  draw_tree(tree);
+
+  std::cout << "\neliminating level " << level << " (Q_" << level << " = {";
+  for (Snode k : tree.level_set(level)) std::cout << " " << k;
+  std::cout << " }) updates the regions (Fig. 3b):\n";
+  show_regions(tree, level);
+  std::cout << '\n';
+  show_units(tree, level);
+
+  std::cout << "\nrelationships of supernode "
+            << tree.level_set(level).front() << ": ancestors {";
+  for (Snode a : tree.ancestors(tree.level_set(level).front()))
+    std::cout << " " << a;
+  std::cout << " }, descendants {";
+  for (Snode d : tree.descendants(tree.level_set(level).front()))
+    std::cout << " " << d;
+  std::cout << " }, cousins {";
+  for (Snode c : tree.cousins(tree.level_set(level).front()))
+    std::cout << " " << c;
+  std::cout << " }\n";
+  return 0;
+}

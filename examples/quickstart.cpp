@@ -1,0 +1,52 @@
+// Quickstart: build a graph, run the communication-avoiding sparse APSP,
+// query a few distances, and look at the measured communication costs.
+//
+//   ./quickstart [--n 400] [--height 3] [--seed 1]
+#include <iostream>
+
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace capsp;
+  const Cli cli(argc, argv);
+  const auto n = static_cast<Vertex>(cli.get_int("n", 400));
+  const int height = static_cast<int>(cli.get_int("height", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cli.check_unused();
+
+  // 1. Build a sparse graph.  Any capsp::Graph works; generators are in
+  //    graph/generators.hpp, file loading in graph/io.hpp.
+  Rng rng(seed);
+  const auto side = static_cast<Vertex>(isqrt(static_cast<std::uint64_t>(n)));
+  const Graph graph = make_grid2d(side, side, rng);
+  std::cout << "graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges\n";
+
+  // 2. Run 2D-SPARSE-APSP.  height h picks the machine size
+  //    p = (2^h - 1)²; the driver does the ND pre-processing, simulates
+  //    the p-rank machine, and meters every message.
+  SparseApspOptions options;
+  options.height = height;
+  options.seed = seed;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+
+  // 3. Query distances (original vertex numbering).
+  const Vertex corner = graph.num_vertices() - 1;
+  std::cout << "shortest distance 0 -> " << corner << ": "
+            << result.distances.at(0, corner) << "\n";
+  std::cout << "shortest distance 0 -> " << corner / 2 << ": "
+            << result.distances.at(0, corner / 2) << "\n";
+
+  // 4. Inspect the run.
+  std::cout << "\nmachine: p = " << result.num_ranks << " ranks ("
+            << "eTree height " << result.height << "), top separator |S| = "
+            << result.separator_size << "\n";
+  std::cout << "communication along the critical path: "
+            << result.costs.critical_latency << " messages, "
+            << result.costs.critical_bandwidth << " words\n";
+  std::cout << "largest per-rank block (memory M): "
+            << result.max_block_words << " words\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# experiment table, and leave the outputs in test_output.txt /
+# bench_output.txt at the repository root (the artifacts EXPERIMENTS.md
+# quotes from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "##### $(basename "$b")"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

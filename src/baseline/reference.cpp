@@ -1,0 +1,84 @@
+#include "baseline/reference.hpp"
+
+#include <queue>
+#include <utility>
+
+namespace capsp {
+
+std::vector<Dist> dijkstra_sssp(const Graph& graph, Vertex source) {
+  const Vertex n = graph.num_vertices();
+  std::vector<Dist> dist(static_cast<std::size_t>(n), kInf);
+  using Entry = std::pair<Dist, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;  // stale entry
+    for (const auto& nb : graph.neighbors(v)) {
+      CAPSP_CHECK_MSG(nb.weight >= 0,
+                      "Dijkstra requires non-negative weights; edge {"
+                          << v << "," << nb.to << "} has " << nb.weight);
+      const Dist cand = d + nb.weight;
+      if (cand < dist[static_cast<std::size_t>(nb.to)]) {
+        dist[static_cast<std::size_t>(nb.to)] = cand;
+        heap.push({cand, nb.to});
+      }
+    }
+  }
+  return dist;
+}
+
+DistBlock dijkstra_apsp(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  DistBlock out(n, n);
+  for (Vertex s = 0; s < n; ++s) {
+    const auto dist = dijkstra_sssp(graph, s);
+    for (Vertex t = 0; t < n; ++t)
+      out.at(s, t) = dist[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+std::vector<Dist> bellman_ford_sssp(const Graph& graph, Vertex source) {
+  const Vertex n = graph.num_vertices();
+  std::vector<Dist> dist(static_cast<std::size_t>(n), kInf);
+  dist[static_cast<std::size_t>(source)] = 0;
+  bool changed = true;
+  for (Vertex round = 0; round < n && changed; ++round) {
+    changed = false;
+    for (Vertex v = 0; v < n; ++v) {
+      const Dist dv = dist[static_cast<std::size_t>(v)];
+      if (is_inf(dv)) continue;
+      for (const auto& nb : graph.neighbors(v)) {
+        const Dist cand = dv + nb.weight;
+        if (cand < dist[static_cast<std::size_t>(nb.to)]) {
+          dist[static_cast<std::size_t>(nb.to)] = cand;
+          changed = true;
+        }
+      }
+    }
+    CAPSP_CHECK_MSG(!(changed && round == n - 1),
+                    "negative cycle reachable from vertex " << source);
+  }
+  return dist;
+}
+
+DistBlock bellman_ford_apsp(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  DistBlock out(n, n);
+  for (Vertex s = 0; s < n; ++s) {
+    const auto dist = bellman_ford_sssp(graph, s);
+    for (Vertex t = 0; t < n; ++t)
+      out.at(s, t) = dist[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+DistBlock reference_apsp(const Graph& graph) {
+  return graph.min_edge_weight() >= 0 ? dijkstra_apsp(graph)
+                                      : bellman_ford_apsp(graph);
+}
+
+}  // namespace capsp

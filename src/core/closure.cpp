@@ -1,0 +1,128 @@
+#include "core/closure.hpp"
+
+#include <queue>
+
+#include "semiring/semirings.hpp"
+
+namespace capsp {
+namespace {
+
+/// Build the semiring "adjacency" matrix: 1̄ on the diagonal, edge values
+/// elsewhere, 0̄ for non-edges.
+template <typename S>
+DistBlock semiring_matrix(const Graph& graph,
+                          Dist (*edge_value)(Weight)) {
+  const Vertex n = graph.num_vertices();
+  DistBlock a(n, n, S::zero());
+  for (Vertex v = 0; v < n; ++v) {
+    a.at(v, v) = S::one();
+    for (const auto& nb : graph.neighbors(v))
+      a.at(v, nb.to) = S::plus(a.at(v, nb.to), edge_value(nb.weight));
+  }
+  return a;
+}
+
+/// Level-by-level supernodal elimination over semiring S — the identical
+/// schedule superfw() runs for min-plus.
+template <typename S>
+void supernodal_eliminate(DistBlock& a, const Dissection& nd) {
+  const EliminationTree& tree = nd.tree;
+  auto load = [&](Snode i, Snode j) {
+    const auto& ri = nd.range_of(i);
+    const auto& rj = nd.range_of(j);
+    return a.sub_block(ri.begin, rj.begin, ri.size(), rj.size());
+  };
+  auto store = [&](Snode i, Snode j, const DistBlock& block) {
+    a.set_sub_block(nd.range_of(i).begin, nd.range_of(j).begin, block);
+  };
+  for (int l = 1; l <= tree.height(); ++l) {
+    for (Snode k : tree.level_set(l)) {
+      std::vector<Snode> related = tree.descendants(k);
+      const auto anc = tree.ancestors(k);
+      related.insert(related.end(), anc.begin(), anc.end());
+
+      DistBlock akk = load(k, k);
+      semiring_fw<S>(akk);
+      store(k, k, akk);
+      for (Snode i : related) {
+        DistBlock aik = load(i, k);
+        semiring_accumulate<S>(aik, aik, akk);
+        store(i, k, aik);
+        DistBlock aki = load(k, i);
+        semiring_accumulate<S>(aki, akk, aki);
+        store(k, i, aki);
+      }
+      for (Snode i : related) {
+        const DistBlock aik = load(i, k);
+        for (Snode j : related) {
+          DistBlock aij = load(i, j);
+          const DistBlock akj = load(k, j);
+          semiring_accumulate<S>(aij, aik, akj);
+          store(i, j, aij);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DistBlock bottleneck_apsp(const Graph& graph) {
+  DistBlock a = semiring_matrix<MaxMinSemiring>(
+      graph, +[](Weight w) {
+        CAPSP_CHECK_MSG(w > 0, "bottleneck capacities must be positive");
+        return static_cast<Dist>(w);
+      });
+  semiring_fw<MaxMinSemiring>(a);
+  return a;
+}
+
+DistBlock transitive_closure(const Graph& graph) {
+  DistBlock a = semiring_matrix<BoolSemiring>(
+      graph, +[](Weight) { return Dist{1}; });
+  semiring_fw<BoolSemiring>(a);
+  return a;
+}
+
+DistBlock bottleneck_apsp_supernodal(const Graph& graph,
+                                     const Dissection& nd) {
+  const Graph reordered = apply_dissection(graph, nd);
+  DistBlock a = semiring_matrix<MaxMinSemiring>(
+      reordered, +[](Weight w) {
+        CAPSP_CHECK_MSG(w > 0, "bottleneck capacities must be positive");
+        return static_cast<Dist>(w);
+      });
+  supernodal_eliminate<MaxMinSemiring>(a, nd);
+  // Map back to the original numbering.
+  const Vertex n = graph.num_vertices();
+  DistBlock original(n, n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = 0; v < n; ++v)
+      original.at(u, v) = a.at(nd.perm[static_cast<std::size_t>(u)],
+                               nd.perm[static_cast<std::size_t>(v)]);
+  return original;
+}
+
+std::vector<Dist> widest_path_sssp(const Graph& graph, Vertex source) {
+  const Vertex n = graph.num_vertices();
+  std::vector<Dist> width(static_cast<std::size_t>(n), 0);
+  width[static_cast<std::size_t>(source)] = kInf;
+  using Entry = std::pair<Dist, Vertex>;
+  std::priority_queue<Entry> heap;  // max-heap on width
+  heap.push({kInf, source});
+  while (!heap.empty()) {
+    const auto [w, v] = heap.top();
+    heap.pop();
+    if (w < width[static_cast<std::size_t>(v)]) continue;
+    for (const auto& nb : graph.neighbors(v)) {
+      const Dist through = std::min(w, static_cast<Dist>(nb.weight));
+      if (through > width[static_cast<std::size_t>(nb.to)]) {
+        width[static_cast<std::size_t>(nb.to)] = through;
+        heap.push({through, nb.to});
+      }
+    }
+  }
+  return width;
+}
+
+}  // namespace capsp

@@ -1,0 +1,65 @@
+// The supernodal block layout of Sec. 5.1.
+//
+// After nested dissection with N = 2^h - 1 = √p supernodes, processor
+// P_ij (1-based supernode labels i, j) owns block A(i, j) — the rectangle
+// of the reordered distance matrix spanned by supernode i's rows and
+// supernode j's columns.  This class binds a Dissection to the √p × √p
+// processor grid and answers every "who owns / how big" question the
+// scheduler asks.
+#pragma once
+
+#include <memory>
+
+#include "machine/machine.hpp"
+#include "partition/nested_dissection.hpp"
+#include "tree/etree.hpp"
+
+namespace capsp {
+
+class ApspLayout {
+ public:
+  explicit ApspLayout(const Dissection& nd)
+      : tree_(nd.tree), ranges_(nd.ranges) {}
+
+  const EliminationTree& tree() const { return tree_; }
+
+  /// Grid side √p = N.
+  Snode grid_side() const { return tree_.num_supernodes(); }
+
+  /// Total ranks p = N².
+  int num_ranks() const {
+    return static_cast<int>(grid_side()) * static_cast<int>(grid_side());
+  }
+
+  /// Rank of processor P_ij (supernode labels are 1-based).
+  RankId rank_of(Snode i, Snode j) const {
+    CAPSP_CHECK(tree_.valid(i) && tree_.valid(j));
+    return (i - 1) * static_cast<RankId>(grid_side()) + (j - 1);
+  }
+
+  /// Block (i, j) owned by `rank`.
+  std::pair<Snode, Snode> block_of(RankId rank) const {
+    CAPSP_CHECK(rank >= 0 && rank < num_ranks());
+    return {static_cast<Snode>(rank / grid_side()) + 1,
+            static_cast<Snode>(rank % grid_side()) + 1};
+  }
+
+  /// Vertex range (in the permuted ordering) of supernode s.
+  const VertexRange& range_of(Snode s) const {
+    CAPSP_CHECK(tree_.valid(s));
+    return ranges_[static_cast<std::size_t>(s)];
+  }
+
+  Vertex size_of(Snode s) const { return range_of(s).size(); }
+
+  /// Shape of block A(i, j).
+  std::pair<std::int64_t, std::int64_t> block_shape(Snode i, Snode j) const {
+    return {size_of(i), size_of(j)};
+  }
+
+ private:
+  EliminationTree tree_;
+  std::vector<VertexRange> ranges_;
+};
+
+}  // namespace capsp

@@ -1,0 +1,71 @@
+// Path reconstruction and distance analytics on top of an APSP result.
+//
+// The paper's algorithm (like most distance-matrix APSP work) produces
+// distances only.  This oracle recovers actual shortest *paths* from the
+// distance matrix plus the graph with zero extra precomputation: the next
+// hop from u toward v is any neighbor w of u with w(u,w) + D(w,v) = D(u,v),
+// found in O(deg(u)) per step — so a whole path costs O(len · deg) and the
+// distributed algorithms need no modification or extra memory to support
+// routing queries.  Also provides the classic distance analytics
+// (eccentricity, diameter, radius, closeness centrality) used by the
+// examples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "semiring/block.hpp"
+
+namespace capsp {
+
+class PathOracle {
+ public:
+  /// `distances` must be the n×n all-pairs matrix of `graph` (original
+  /// vertex order, zero diagonal) — e.g. SparseApspResult::distances.
+  /// Validated on construction.
+  PathOracle(Graph graph, DistBlock distances);
+
+  const Graph& graph() const { return graph_; }
+  Vertex num_vertices() const { return graph_.num_vertices(); }
+
+  Dist distance(Vertex u, Vertex v) const { return distances_.at(u, v); }
+
+  bool reachable(Vertex u, Vertex v) const {
+    return !is_inf(distances_.at(u, v));
+  }
+
+  /// First vertex after u on a shortest u→v path (v itself when u == v);
+  /// -1 if v is unreachable from u.  O(deg(u)).
+  Vertex next_hop(Vertex u, Vertex v) const;
+
+  /// Vertex sequence u, ..., v of a shortest path (singleton {u} when
+  /// u == v; empty when unreachable).  O(length · max degree).
+  std::vector<Vertex> shortest_path(Vertex u, Vertex v) const;
+
+  /// Total weight of an explicit path (CHECK-fails on a non-edge).
+  Dist path_weight(std::span<const Vertex> path) const;
+
+  /// max_v d(u, v) over vertices reachable from u.
+  Dist eccentricity(Vertex u) const;
+
+  /// Largest finite distance in the graph (0 for n <= 1).
+  Dist diameter() const;
+
+  /// Smallest eccentricity.
+  Dist radius() const;
+
+  /// Mean over ordered reachable pairs u != v (0 if none).
+  double mean_distance() const;
+
+  /// Closeness centrality per vertex: (reach_u) / Σ_{v reachable} d(u,v),
+  /// where reach_u = #vertices reachable from u excluding u (0 when the
+  /// vertex is isolated).
+  std::vector<double> closeness_centrality() const;
+
+ private:
+  Graph graph_;
+  DistBlock distances_;
+};
+
+}  // namespace capsp

@@ -1,0 +1,130 @@
+#include "core/regions.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace capsp {
+namespace {
+
+/// A(k) ∪ D(k), sorted ascending.
+std::vector<Snode> related_set(const EliminationTree& tree, Snode k) {
+  std::vector<Snode> out = tree.descendants(k);
+  const auto anc = tree.ancestors(k);
+  out.insert(out.end(), anc.begin(), anc.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<BlockId> region_r1(const EliminationTree& tree, int l) {
+  std::vector<BlockId> out;
+  for (Snode k : tree.level_set(l)) out.push_back({k, k});
+  return out;
+}
+
+std::vector<BlockId> region_r2(const EliminationTree& tree, int l) {
+  std::set<BlockId> out;
+  for (Snode k : tree.level_set(l)) {
+    for (Snode i : related_set(tree, k)) {
+      out.insert({i, k});
+      out.insert({k, i});
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<BlockId> region_r3(const EliminationTree& tree, int l) {
+  std::set<BlockId> out;
+  for (Snode k : tree.level_set(l)) {
+    const auto related = related_set(tree, k);
+    for (Snode i : related) {
+      for (Snode j : related) {
+        // Exclude the pure ancestor×ancestor pairs: those are R⁴.
+        const bool i_desc = tree.is_descendant(i, k);
+        const bool j_desc = tree.is_descendant(j, k);
+        if (i_desc || j_desc) out.insert({i, j});
+      }
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<BlockId> region_r4(const EliminationTree& tree, int l) {
+  std::set<BlockId> out;
+  for (Snode k : tree.level_set(l)) {
+    const auto ancestors = tree.ancestors(k);
+    for (Snode i : ancestors)
+      for (Snode j : ancestors) out.insert({i, j});
+  }
+  return {out.begin(), out.end()};
+}
+
+Snode r3_pivot(const EliminationTree& tree, int l, Snode i, Snode j) {
+  Snode found = 0;
+  for (Snode k : tree.level_set(l)) {
+    const bool i_rel = (i == k) || tree.related(i, k);
+    const bool j_rel = (j == k) || tree.related(j, k);
+    const bool i_desc = tree.is_descendant(i, k);
+    const bool j_desc = tree.is_descendant(j, k);
+    if (i_rel && j_rel && (i_desc || j_desc)) {
+      CAPSP_CHECK_MSG(found == 0, "block (" << i << "," << j
+                                            << ") has two R3 pivots at level "
+                                            << l);
+      found = k;
+    }
+  }
+  CAPSP_CHECK_MSG(found != 0,
+                  "block (" << i << "," << j << ") not in R3 of level " << l);
+  return found;
+}
+
+Snode r4_worker_row(const EliminationTree& tree, int l, int a, int c) {
+  const int h = tree.height();
+  CAPSP_CHECK_MSG(l < a && a <= c && c <= h,
+                  "r4 subset (l=" << l << ",a=" << a << ",c=" << c << ")");
+  Snode f = static_cast<Snode>(a - l);
+  for (int b = h + a - c; b <= h - 1; ++b) f += Snode{1} << b;
+  CAPSP_CHECK_MSG(f >= 1 && f <= tree.num_supernodes(),
+                  "f=" << f << " outside grid (Lemma 5.4 violated)");
+  return f;
+}
+
+Snode r4_worker_col(const EliminationTree& tree, int l, Snode k) {
+  CAPSP_CHECK(tree.level_of(k) == l);
+  const Snode g = k - tree.level_begin(l) + 1;  // 1-based index within Q_l
+  CAPSP_CHECK(g >= 1 && g <= tree.level_size(l));
+  return g;
+}
+
+std::vector<ComputingUnit> r4_units(const EliminationTree& tree, int l) {
+  const int h = tree.height();
+  std::vector<ComputingUnit> units;
+  for (Snode k : tree.level_set(l)) {
+    const Snode g = r4_worker_col(tree, l, k);
+    for (int a = l + 1; a <= h; ++a) {
+      const Snode i = tree.ancestor_at_level(k, a);
+      for (int c = a; c <= h; ++c) {
+        const Snode j = tree.ancestor_at_level(k, c);
+        units.push_back({i, j, k, r4_worker_row(tree, l, a, c), g});
+      }
+    }
+  }
+  std::sort(units.begin(), units.end(),
+            [](const ComputingUnit& x, const ComputingUnit& y) {
+              return std::tie(x.i, x.j, x.k) < std::tie(y.i, y.j, y.k);
+            });
+  return units;
+}
+
+std::int64_t r4_unit_count(const EliminationTree& tree, int l) {
+  const int h = tree.height();
+  std::int64_t count = 0;
+  // Per subset R⁴(a,c): 2^(h-l) units (Lemma 5.3); subsets: pairs a <= c.
+  for (int a = l + 1; a <= h; ++a)
+    for (int c = a; c <= h; ++c) count += std::int64_t{1} << (h - l);
+  return count;
+}
+
+}  // namespace capsp

@@ -1,0 +1,78 @@
+// Region decomposition and the computing-unit → processor map
+// (paper Sec. 5.2, Lemmas 5.2–5.4, Corollary 5.5).
+//
+// Eliminating the level-l supernodes Q_l updates the region
+//   R_l = ∪_{k∈Q_l} (k ∪ A(k) ∪ D(k)) × (k ∪ A(k) ∪ D(k)),
+// split into four disjoint sub-regions handled by different schedules:
+//   R¹ diagonal blocks (k,k)            — local ClassicalFW
+//   R² panels (i,k), (k,j)              — broadcast from the diagonal
+//   R³ blocks with a descendant side    — one computing unit each
+//   R⁴ ancestor×ancestor blocks         — 2^(a-l) units each, fanned out
+//                                         one-to-one onto worker ranks P_fg
+// This header computes the regions and the (f, g) arithmetic; the
+// scheduler (sparse_apsp.cpp) and the tests/benches both consume it, so
+// the paper's counting lemmas are checked against the very tables the
+// algorithm runs from.
+#pragma once
+
+#include <vector>
+
+#include "core/layout.hpp"
+#include "tree/etree.hpp"
+
+namespace capsp {
+
+/// A block index pair (supernode labels).
+struct BlockId {
+  Snode i = 0;
+  Snode j = 0;
+  friend bool operator==(const BlockId&, const BlockId&) = default;
+  friend auto operator<=>(const BlockId&, const BlockId&) = default;
+};
+
+/// One computing unit A(i,k) ⊗ A(k,j) of an R⁴ update (Cor. 5.5).
+struct ComputingUnit {
+  Snode i = 0;  ///< row supernode, level(i) = a
+  Snode j = 0;  ///< column supernode, level(j) = c >= a (j ∈ {i} ∪ A(i))
+  Snode k = 0;  ///< pivot supernode, k ∈ Q_l ∩ D(i)
+  Snode f = 0;  ///< worker grid row (Lemma 5.4)
+  Snode g = 0;  ///< worker grid column (index of k within Q_l)
+  friend bool operator==(const ComputingUnit&,
+                         const ComputingUnit&) = default;
+};
+
+/// R¹_l: diagonal blocks (k,k), k ∈ Q_l.
+std::vector<BlockId> region_r1(const EliminationTree& tree, int l);
+
+/// R²_l: panel blocks (i,k) and (k,j) with i,j ∈ A(k) ∪ D(k), k ∈ Q_l.
+std::vector<BlockId> region_r2(const EliminationTree& tree, int l);
+
+/// R³_l: ∪_k (A(k)∪D(k)) × D(k)  ∪  D(k) × (A(k)∪D(k)) — blocks updated by
+/// exactly one computing unit.
+std::vector<BlockId> region_r3(const EliminationTree& tree, int l);
+
+/// R⁴_l: ∪_k A(k) × A(k) (including ancestor diagonal blocks) — blocks
+/// updated by 2^(a-l) computing units, a = min level.
+std::vector<BlockId> region_r4(const EliminationTree& tree, int l);
+
+/// The unique pivot k ∈ Q_l through which block (i,j) ∈ R³_l is updated.
+Snode r3_pivot(const EliminationTree& tree, int l, Snode i, Snode j);
+
+/// Worker grid row for subset R⁴_l(a, c):  f = Σ_{b=h+a-c}^{h-1} 2^b + (a-l)
+/// (Lemma 5.4).  Requires l < a <= c <= h.
+Snode r4_worker_row(const EliminationTree& tree, int l, int a, int c);
+
+/// Worker grid column for pivot k ∈ Q_l:  g = k - Σ_{b=h-l+1}^{h-1} 2^b,
+/// i.e. k's 1-based index within Q_l (Cor. 5.5).
+Snode r4_worker_col(const EliminationTree& tree, int l, Snode k);
+
+/// All computing units of level l for the computed half of R⁴ (blocks with
+/// level(i) <= level(j); the other half arrives by transposition, Alg. 1
+/// line 25).  Sorted by (i, j, k).
+std::vector<ComputingUnit> r4_units(const EliminationTree& tree, int l);
+
+/// Number of computing units Lemma 5.2 predicts for the computed half:
+/// Σ_{a=l+1}^{h} (h-a+1) · 2^(h-l).... evaluated exactly (for tests).
+std::int64_t r4_unit_count(const EliminationTree& tree, int l);
+
+}  // namespace capsp

@@ -1,0 +1,130 @@
+// 2D-SPARSE-APSP (paper Sec. 5, Algorithm 1): the communication-avoiding
+// distributed APSP algorithm for sparse graphs.
+//
+// Pipeline:
+//   1. pre-process: nested dissection to h = log2(√p + 1) levels; the
+//      reordered matrix gets the block-arrow structure (Sec. 4);
+//   2. layout: block A(i,j) on processor P_ij of the √p × √p grid
+//      (Sec. 5.1);
+//   3. eliminate supernodes level by level; each level updates the four
+//      regions R¹..R⁴ with the schedule of Sec. 5.2 — in particular R⁴
+//      computing units fan out one-to-one onto worker processors P_fg
+//      (Cor. 5.5) and reduce back, which is what brings the per-level
+//      latency to O(log p) and the total to O(log² p).
+//
+// Costs are metered by the machine simulator; see DESIGN.md for how the
+// numbers map onto the paper's Table 2.
+#pragma once
+
+#include <optional>
+
+#include "core/layout.hpp"
+#include "graph/graph.hpp"
+#include "machine/collectives.hpp"
+#include "machine/machine.hpp"
+#include "semiring/semirings.hpp"
+#include "partition/nested_dissection.hpp"
+#include "util/rng.hpp"
+
+namespace capsp {
+
+/// How the R⁴ computing units are assigned to processors (Sec. 5.2.2
+/// discusses all three; the paper's contribution is the last one).
+enum class R4Strategy {
+  /// The "trivial strategy ... used in SuperLU_DIST": the block owner
+  /// P_ij receives all 2q operand messages itself and computes the units
+  /// sequentially.  Per-level latency Θ(2^(h-l)) — Θ(√p) at level 1.
+  kSequential,
+  /// Units fan out to worker processors, but workers are *reused* across
+  /// blocks (all subsets share grid row 1), so blocks serialize on their
+  /// common workers.  The intermediate design point the paper's Lemma 5.1
+  /// warns about.
+  kSharedWorkers,
+  /// The paper's one-to-one mapping (Lemmas 5.3-5.4, Cor. 5.5): every
+  /// unit on its own processor; per-level latency O(log p).
+  kOneToOne,
+};
+
+struct SparseApspOptions {
+  /// eTree height h; the machine has p = (2^h - 1)² ranks.
+  int height = 2;
+  /// Partitioner knobs for the ND pre-processing.
+  BisectOptions bisect{};
+  /// Seed for the (deterministic) partitioner.
+  std::uint64_t seed = 42;
+  /// Skip result collection (cost-measurement sweeps don't need the n²
+  /// gather and it dominates wall time at large n).
+  bool collect_distances = true;
+  /// R⁴ scheduling strategy (ablation knob; default = the paper's).
+  R4Strategy r4_strategy = R4Strategy::kOneToOne;
+  /// Broadcast/reduce implementation (ablation knob): binomial trees
+  /// (the paper's O(log p) messages, O(w·log p) words) or pipelined
+  /// scatter-allgather (O(|group|) messages, O(w) words).
+  CollectiveAlgorithm collectives = CollectiveAlgorithm::kBinomialTree;
+};
+
+struct SparseApspResult {
+  DistBlock distances;     ///< APSP in original vertex order (empty if not
+                           ///< collected)
+  CostReport costs;        ///< costs of the elimination phase only
+  Vertex separator_size = 0;  ///< |S| of the top-level separator
+  int height = 0;             ///< eTree height h
+  int num_ranks = 0;          ///< p = (2^h - 1)²
+  std::int64_t max_block_words = 0;  ///< largest per-rank block (memory M)
+  /// Scalar ⊗ operations each rank performed (Sec. 5.1's load-balance
+  /// discussion: computation per processor, measured not assumed).
+  std::vector<std::int64_t> ops_per_rank;
+  /// Machine-wide clock (max over ranks) after each level's elimination;
+  /// index l-1 for level l.  Successive differences are the per-level
+  /// critical costs L_l and B_l of Lemmas 5.6/5.9, measured directly.
+  std::vector<CostClock> clock_after_level;
+};
+
+/// SPMD body of Algorithm 1.  Every rank of a p = N²-rank machine calls
+/// this with its block of the *reordered* adjacency matrix; on return the
+/// block holds the shortest distances.  Tags in [0, 2^40) are consumed.
+void sparse_apsp_rank(
+    Comm& comm, const ApspLayout& layout, DistBlock& local,
+    R4Strategy strategy = R4Strategy::kOneToOne,
+    CollectiveAlgorithm collectives = CollectiveAlgorithm::kBinomialTree,
+    std::int64_t* ops_out = nullptr,
+    std::vector<CostClock>* level_clocks_out = nullptr,
+    const SemiringKernels* kernels = nullptr);
+
+/// Driver: pre-process, build the machine, run, gather, un-permute.
+SparseApspResult run_sparse_apsp(const Graph& graph,
+                                 const SparseApspOptions& options = {});
+
+/// Run on a pre-computed dissection (lets callers reuse/inspect the ND);
+/// options.height is ignored (the dissection fixes it).
+SparseApspResult run_sparse_apsp(const Graph& graph, const Dissection& nd,
+                                 const SparseApspOptions& options = {});
+
+/// Algorithm 1's schedule over an arbitrary closed semiring: identical
+/// machine, identical communication pattern; only the block kernels and
+/// the adjacency semantics (0̄ for non-edge, 1̄ on the diagonal) change.
+/// This is Carré's observation made executable in the distributed
+/// setting: .distances holds the semiring closure.
+SparseApspResult run_sparse_apsp_semiring(
+    const Graph& graph, const Dissection& nd,
+    const SemiringKernels& kernels, const SparseApspOptions& options = {});
+
+/// Distributed bottleneck (widest-path) matrix over (max, min): entry
+/// (u,v) of .distances is the best achievable minimum edge capacity on a
+/// u→v path (+inf diagonal, 0 when unreachable).  Edge weights act as
+/// capacities and must be positive.
+SparseApspResult run_sparse_bottleneck(const Graph& graph,
+                                       const SparseApspOptions& options = {});
+
+/// Distributed transitive closure over the Boolean semiring: entry (u,v)
+/// of .distances is 1 when connected, 0 otherwise.
+SparseApspResult run_sparse_closure(const Graph& graph,
+                                    const SparseApspOptions& options = {});
+
+/// Suggest an eTree height for `graph` under a machine-size budget:
+/// the largest h with p = (2^h - 1)² <= max_ranks whose leaf supernodes
+/// still hold a few vertices each (so blocks are worth a rank).
+/// Always returns at least 1.
+int recommend_height(const Graph& graph, int max_ranks = 1024);
+
+}  // namespace capsp

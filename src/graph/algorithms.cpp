@@ -1,0 +1,83 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace capsp {
+
+std::vector<Vertex> connected_components(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  std::vector<Vertex> label(static_cast<std::size_t>(n), -1);
+  Vertex next = 0;
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (label[static_cast<std::size_t>(s)] >= 0) continue;
+    label[static_cast<std::size_t>(s)] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const auto& nb : graph.neighbors(v)) {
+        if (label[static_cast<std::size_t>(nb.to)] < 0) {
+          label[static_cast<std::size_t>(nb.to)] = next;
+          stack.push_back(nb.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int count_components(const Graph& graph) {
+  const auto label = connected_components(graph);
+  return label.empty() ? 0 : 1 + *std::max_element(label.begin(), label.end());
+}
+
+bool is_connected(const Graph& graph) {
+  return graph.num_vertices() <= 1 || count_components(graph) == 1;
+}
+
+std::vector<Vertex> bfs_levels(const Graph& graph, Vertex source) {
+  const Vertex n = graph.num_vertices();
+  std::vector<Vertex> level(static_cast<std::size_t>(n), -1);
+  std::queue<Vertex> queue;
+  level[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop();
+    for (const auto& nb : graph.neighbors(v)) {
+      if (level[static_cast<std::size_t>(nb.to)] < 0) {
+        level[static_cast<std::size_t>(nb.to)] =
+            level[static_cast<std::size_t>(v)] + 1;
+        queue.push(nb.to);
+      }
+    }
+  }
+  return level;
+}
+
+Vertex pseudo_peripheral_vertex(const Graph& graph, Vertex start) {
+  CAPSP_CHECK(graph.num_vertices() > 0);
+  Vertex current = start;
+  Vertex best_depth = -1;
+  // Iterate "jump to the farthest vertex" until the eccentricity estimate
+  // stops growing; converges in a handful of rounds in practice.
+  for (int round = 0; round < 8; ++round) {
+    const auto level = bfs_levels(graph, current);
+    Vertex farthest = current, depth = 0;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      if (level[static_cast<std::size_t>(v)] > depth) {
+        depth = level[static_cast<std::size_t>(v)];
+        farthest = v;
+      }
+    }
+    if (depth <= best_depth) break;
+    best_depth = depth;
+    current = farthest;
+  }
+  return current;
+}
+
+}  // namespace capsp

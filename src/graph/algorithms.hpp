@@ -1,0 +1,25 @@
+// Basic graph traversal utilities shared by the partitioner and the tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace capsp {
+
+/// Connected-component labels in [0, #components); component ids are
+/// assigned in order of their smallest vertex.
+std::vector<Vertex> connected_components(const Graph& graph);
+
+int count_components(const Graph& graph);
+
+bool is_connected(const Graph& graph);
+
+/// BFS hop distances from `source` (-1 for unreachable vertices).
+std::vector<Vertex> bfs_levels(const Graph& graph, Vertex source);
+
+/// A vertex approximately maximizing eccentricity, found by repeated BFS
+/// (used to seed the initial bisection).  Graph must be non-empty.
+Vertex pseudo_peripheral_vertex(const Graph& graph, Vertex start);
+
+}  // namespace capsp

@@ -1,0 +1,237 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace capsp {
+
+Weight draw_weight(Rng& rng, const WeightOptions& opts) {
+  CAPSP_CHECK(opts.min_weight <= opts.max_weight);
+  Weight w = (opts.min_weight == opts.max_weight)
+                 ? opts.min_weight
+                 : rng.uniform_real(opts.min_weight, opts.max_weight);
+  if (opts.integer) w = std::round(w);
+  if (opts.negative_fraction > 0 && rng.bernoulli(opts.negative_fraction))
+    w = -w;
+  return w;
+}
+
+namespace {
+
+/// Connect vertex i to a uniformly random earlier vertex, for i = 1..n-1.
+/// Produces a uniform random recursive tree; used to guarantee connectivity.
+void add_spanning_tree(GraphBuilder& builder, Rng& rng,
+                       const WeightOptions& opts) {
+  const Vertex n = builder.num_vertices();
+  for (Vertex i = 1; i < n; ++i) {
+    const auto j = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(i)));
+    builder.add_edge(i, j, draw_weight(rng, opts));
+  }
+}
+
+}  // namespace
+
+Graph make_grid2d(Vertex rows, Vertex cols, Rng& rng,
+                  const WeightOptions& opts) {
+  CAPSP_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        builder.add_edge(id(r, c), id(r, c + 1), draw_weight(rng, opts));
+      if (r + 1 < rows)
+        builder.add_edge(id(r, c), id(r + 1, c), draw_weight(rng, opts));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_grid3d(Vertex nx, Vertex ny, Vertex nz, Rng& rng,
+                  const WeightOptions& opts) {
+  CAPSP_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  GraphBuilder builder(nx * ny * nz);
+  auto id = [ny, nz](Vertex x, Vertex y, Vertex z) {
+    return (x * ny + y) * nz + z;
+  };
+  for (Vertex x = 0; x < nx; ++x)
+    for (Vertex y = 0; y < ny; ++y)
+      for (Vertex z = 0; z < nz; ++z) {
+        if (x + 1 < nx)
+          builder.add_edge(id(x, y, z), id(x + 1, y, z),
+                           draw_weight(rng, opts));
+        if (y + 1 < ny)
+          builder.add_edge(id(x, y, z), id(x, y + 1, z),
+                           draw_weight(rng, opts));
+        if (z + 1 < nz)
+          builder.add_edge(id(x, y, z), id(x, y, z + 1),
+                           draw_weight(rng, opts));
+      }
+  return std::move(builder).build();
+}
+
+Graph make_path(Vertex n, Rng& rng, const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i + 1 < n; ++i)
+    builder.add_edge(i, i + 1, draw_weight(rng, opts));
+  return std::move(builder).build();
+}
+
+Graph make_cycle(Vertex n, Rng& rng, const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 3);
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i < n; ++i)
+    builder.add_edge(i, (i + 1) % n, draw_weight(rng, opts));
+  return std::move(builder).build();
+}
+
+Graph make_complete(Vertex n, Rng& rng, const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j)
+      builder.add_edge(i, j, draw_weight(rng, opts));
+  return std::move(builder).build();
+}
+
+Graph make_random_tree(Vertex n, Rng& rng, const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  add_spanning_tree(builder, rng, opts);
+  return std::move(builder).build();
+}
+
+Graph make_erdos_renyi(Vertex n, double avg_degree, Rng& rng,
+                       const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 1);
+  CAPSP_CHECK(avg_degree >= 0);
+  GraphBuilder builder(n);
+  add_spanning_tree(builder, rng, opts);
+  const auto target =
+      static_cast<std::int64_t>(std::ceil(avg_degree * n / 2.0));
+  const auto un = static_cast<std::uint64_t>(n);
+  for (std::int64_t e = 0; e < target; ++e) {
+    const auto u = static_cast<Vertex>(rng.uniform(un));
+    const auto v = static_cast<Vertex>(rng.uniform(un));
+    if (u != v) builder.add_edge(u, v, draw_weight(rng, opts));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_random_geometric(Vertex n, double radius, Rng& rng,
+                            const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 1);
+  CAPSP_CHECK(radius > 0);
+  std::vector<std::pair<double, double>> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) p = {rng.uniform_real(), rng.uniform_real()};
+  // Sort by x so the O(n^2) scan can break out early.
+  std::sort(pts.begin(), pts.end());
+  GraphBuilder builder(n);
+  const double r2 = radius * radius;
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = i + 1; j < n; ++j) {
+      const double dx = pts[static_cast<std::size_t>(j)].first -
+                        pts[static_cast<std::size_t>(i)].first;
+      if (dx > radius) break;
+      const double dy = pts[static_cast<std::size_t>(j)].second -
+                        pts[static_cast<std::size_t>(i)].second;
+      if (dx * dx + dy * dy <= r2)
+        builder.add_edge(i, j, draw_weight(rng, opts));
+    }
+  }
+  add_spanning_tree(builder, rng, opts);
+  return std::move(builder).build();
+}
+
+Graph make_rmat(Vertex n, double avg_degree, Rng& rng,
+                const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 2);
+  const int scale = ceil_log2(static_cast<std::uint64_t>(n));
+  const auto target =
+      static_cast<std::int64_t>(std::ceil(avg_degree * n / 2.0));
+  GraphBuilder builder(n);
+  add_spanning_tree(builder, rng, opts);
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;  // d = 0.05
+  for (std::int64_t e = 0; e < target; ++e) {
+    Vertex u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform_real();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // top-left quadrant: no bits set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u < n && v < n && u != v)
+      builder.add_edge(u, v, draw_weight(rng, opts));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_ladder(Vertex n, Rng& rng, const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 2 && n % 2 == 0);
+  const Vertex len = n / 2;
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i < len; ++i) {
+    if (i + 1 < len) {
+      builder.add_edge(i, i + 1, draw_weight(rng, opts));
+      builder.add_edge(len + i, len + i + 1, draw_weight(rng, opts));
+    }
+    builder.add_edge(i, len + i, draw_weight(rng, opts));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_small_world(Vertex n, int k, double beta, Rng& rng,
+                       const WeightOptions& opts) {
+  CAPSP_CHECK(n >= 3 && k >= 1 && 2 * k < n);
+  CAPSP_CHECK(beta >= 0 && beta <= 1);
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i < n; ++i) {
+    for (int d = 1; d <= k; ++d) {
+      Vertex j = (i + d) % n;
+      if (rng.bernoulli(beta)) {
+        // rewire: random endpoint distinct from i
+        do {
+          j = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+        } while (j == i);
+      }
+      builder.add_edge(i, j, draw_weight(rng, opts));
+    }
+  }
+  // Rewiring can in principle disconnect the ring; restore connectivity.
+  add_spanning_tree(builder, rng, opts);
+  return std::move(builder).build();
+}
+
+Graph make_paper_figure1() {
+  // Two triangles (V1 = {0,1,2}, V2 = {3,4,5}) joined through the
+  // single-vertex separator S = {6}; matches the structure of Fig. 1a.
+  GraphBuilder builder(7);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(1, 2, 1);
+  builder.add_edge(0, 2, 1);
+  builder.add_edge(3, 4, 1);
+  builder.add_edge(4, 5, 1);
+  builder.add_edge(3, 5, 1);
+  builder.add_edge(2, 6, 1);
+  builder.add_edge(5, 6, 1);
+  builder.add_edge(1, 6, 1);
+  builder.add_edge(4, 6, 1);
+  return std::move(builder).build();
+}
+
+}  // namespace capsp

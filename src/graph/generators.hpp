@@ -1,0 +1,83 @@
+// Synthetic graph families for tests and experiments.
+//
+// The paper is evaluated on sparse graphs with small vertex separators; the
+// generators here span that design space:
+//   * 2D/3D grids and geometric graphs — planar-like, |S| = Θ(√n) or
+//     Θ(n^(2/3)): the family where the algorithm is designed to win;
+//   * trees/ladders/caterpillars — |S| = O(1): extreme small-separator case;
+//   * Erdős–Rényi and RMAT — expander-like, |S| = Θ(n): the adversarial
+//     family that drives the crossover study (paper Sec. 5.5).
+// All generators are deterministic functions of the supplied Rng.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace capsp {
+
+/// Distribution of edge weights drawn by the generators.
+struct WeightOptions {
+  Weight min_weight = 1.0;
+  Weight max_weight = 10.0;
+  bool integer = true;          ///< round draws to whole numbers
+  double negative_fraction = 0; ///< fraction of edges made negative (weight
+                                ///< negated after the draw).  NOTE: in an
+                                ///< undirected graph any negative edge is a
+                                ///< negative 2-cycle, so this knob exists to
+                                ///< exercise negative-cycle *detection*
+                                ///< (Bellman–Ford), not shortest paths.
+
+  static WeightOptions unit() { return {1.0, 1.0, true, 0}; }
+};
+
+Weight draw_weight(Rng& rng, const WeightOptions& opts);
+
+/// rows×cols 4-neighbor grid; n = rows*cols, |S| ≈ min(rows, cols).
+Graph make_grid2d(Vertex rows, Vertex cols, Rng& rng,
+                  const WeightOptions& opts = {});
+
+/// nx×ny×nz 6-neighbor grid; |S| ≈ (n)^(2/3) for a cube.
+Graph make_grid3d(Vertex nx, Vertex ny, Vertex nz, Rng& rng,
+                  const WeightOptions& opts = {});
+
+/// Simple path v0-v1-...-v(n-1).
+Graph make_path(Vertex n, Rng& rng, const WeightOptions& opts = {});
+
+/// Cycle on n >= 3 vertices.
+Graph make_cycle(Vertex n, Rng& rng, const WeightOptions& opts = {});
+
+/// Complete graph on n vertices (dense stress case).
+Graph make_complete(Vertex n, Rng& rng, const WeightOptions& opts = {});
+
+/// Uniform random recursive tree on n vertices (connected, m = n-1).
+Graph make_random_tree(Vertex n, Rng& rng, const WeightOptions& opts = {});
+
+/// Erdős–Rényi G(n, m) with m = ceil(avg_degree*n/2) distinct edges,
+/// plus a random spanning tree so the result is connected.
+Graph make_erdos_renyi(Vertex n, double avg_degree, Rng& rng,
+                       const WeightOptions& opts = {});
+
+/// Random geometric graph: n points in the unit square, edges within
+/// `radius`; a spanning tree is added to guarantee connectivity.
+Graph make_random_geometric(Vertex n, double radius, Rng& rng,
+                            const WeightOptions& opts = {});
+
+/// RMAT-style power-law graph (a,b,c,d = 0.57,0.19,0.19,0.05), connected
+/// via an added spanning tree.  n is rounded up to a power of two
+/// internally and the result truncated back to n vertices.
+Graph make_rmat(Vertex n, double avg_degree, Rng& rng,
+                const WeightOptions& opts = {});
+
+/// Ladder: two parallel paths of length n/2 with rungs; |S| = 2.
+Graph make_ladder(Vertex n, Rng& rng, const WeightOptions& opts = {});
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side and
+/// rewiring probability beta.
+Graph make_small_world(Vertex n, int k, double beta, Rng& rng,
+                       const WeightOptions& opts = {});
+
+/// The 7-vertex example of the paper's Figure 1 (unit weights): two
+/// triangles {1,2,3}, {4,5,6} joined through vertex 7 (0-indexed here).
+Graph make_paper_figure1();
+
+}  // namespace capsp

@@ -1,0 +1,146 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+namespace capsp {
+
+Graph::Graph(Vertex num_vertices, std::vector<std::int64_t> offsets,
+             std::vector<Neighbor> adjacency)
+    : n_(num_vertices),
+      offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)) {
+  CAPSP_CHECK(n_ >= 0);
+  CAPSP_CHECK(offsets_.size() == static_cast<std::size_t>(n_) + 1);
+  CAPSP_CHECK(offsets_.front() == 0);
+  CAPSP_CHECK(offsets_.back() == static_cast<std::int64_t>(adjacency_.size()));
+  CAPSP_CHECK(adjacency_.size() % 2 == 0);
+  for (Vertex v = 0; v < n_; ++v) {
+    const auto nbrs = neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      CAPSP_CHECK(nbrs[i].to >= 0 && nbrs[i].to < n_);
+      CAPSP_CHECK_MSG(nbrs[i].to != v, "self loop at " << v);
+      if (i > 0)
+        CAPSP_CHECK_MSG(nbrs[i - 1].to < nbrs[i].to,
+                        "unsorted/duplicate adjacency at vertex " << v);
+    }
+  }
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  bounds_check(v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Neighbor& nb, Vertex target) { return nb.to < target; });
+  return it != nbrs.end() && it->to == v;
+}
+
+Weight Graph::edge_weight(Vertex u, Vertex v) const {
+  bounds_check(v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Neighbor& nb, Vertex target) { return nb.to < target; });
+  CAPSP_CHECK_MSG(it != nbrs.end() && it->to == v,
+                  "no edge {" << u << "," << v << "}");
+  return it->weight;
+}
+
+Weight Graph::min_edge_weight() const {
+  if (adjacency_.empty()) return 0;
+  Weight best = std::numeric_limits<Weight>::infinity();
+  for (const auto& nb : adjacency_) best = std::min(best, nb.weight);
+  return best;
+}
+
+Graph Graph::permuted(std::span<const Vertex> perm) const {
+  CAPSP_CHECK(perm.size() == static_cast<std::size_t>(n_));
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  for (Vertex img : perm) {
+    CAPSP_CHECK(img >= 0 && img < n_);
+    CAPSP_CHECK_MSG(!seen[static_cast<std::size_t>(img)],
+                    "perm not injective at image " << img);
+    seen[static_cast<std::size_t>(img)] = true;
+  }
+  GraphBuilder builder(n_);
+  for (Vertex v = 0; v < n_; ++v) {
+    for (const auto& nb : neighbors(v)) {
+      if (v < nb.to)
+        builder.add_edge(perm[static_cast<std::size_t>(v)],
+                         perm[static_cast<std::size_t>(nb.to)], nb.weight);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph Graph::induced_subgraph(std::span<const Vertex> vertices) const {
+  std::vector<Vertex> local(static_cast<std::size_t>(n_), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vertex v = vertices[i];
+    bounds_check(v);
+    CAPSP_CHECK_MSG(local[static_cast<std::size_t>(v)] < 0,
+                    "duplicate vertex " << v << " in induced set");
+    local[static_cast<std::size_t>(v)] = static_cast<Vertex>(i);
+  }
+  GraphBuilder builder(static_cast<Vertex>(vertices.size()));
+  for (Vertex v : vertices) {
+    for (const auto& nb : neighbors(v)) {
+      const Vertex lu = local[static_cast<std::size_t>(v)];
+      const Vertex lv = local[static_cast<std::size_t>(nb.to)];
+      if (lv >= 0 && lu < lv) builder.add_edge(lu, lv, nb.weight);
+    }
+  }
+  return std::move(builder).build();
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {
+  CAPSP_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
+                  "edge {" << u << "," << v << "} out of range, n=" << n_);
+  if (u == v) return;  // ignore self loops
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, weight});
+}
+
+Graph GraphBuilder::build() && {
+  // Sort canonical (u < v) edges, dedup keeping the minimum weight.
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& a,
+                                             const RawEdge& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  });
+  std::vector<RawEdge> unique;
+  unique.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (!unique.empty() && unique.back().u == e.u && unique.back().v == e.v)
+      continue;  // sorted by weight within (u, v): first one is the minimum
+    unique.push_back(e);
+  }
+
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& e : unique) {
+    ++offsets[static_cast<std::size_t>(e.u) + 1];
+    ++offsets[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Neighbor> adjacency(unique.size() * 2);
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& e : unique) {
+    adjacency[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.u)]++)] = {e.v, e.w};
+    adjacency[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.v)]++)] = {e.u, e.w};
+  }
+  // Per-vertex adjacency is already sorted by construction order?  Not for
+  // the reverse direction; sort each range explicitly.
+  for (Vertex v = 0; v < n_; ++v) {
+    auto begin = adjacency.begin() + offsets[static_cast<std::size_t>(v)];
+    auto end = adjacency.begin() + offsets[static_cast<std::size_t>(v) + 1];
+    std::sort(begin, end,
+              [](const Neighbor& a, const Neighbor& b) { return a.to < b.to; });
+  }
+  return Graph(n_, std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace capsp

@@ -1,0 +1,114 @@
+// Weighted undirected graph in compressed sparse row (CSR) form.
+//
+// This is the input substrate for the whole library: the partitioner, the
+// pre-processing pipeline, and every APSP algorithm consume this type.
+// Edge weights may be negative (the paper permits negative edges as long as
+// no negative cycle exists); absence of an edge is represented implicitly,
+// never by an "infinity" weight stored in the structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace capsp {
+
+using Vertex = std::int32_t;
+using Weight = double;
+
+/// One endpoint+weight entry in an adjacency list.
+struct Neighbor {
+  Vertex to = 0;
+  Weight weight = 0;
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Immutable undirected weighted graph in CSR form.  Both directions of
+/// every edge are stored, so degree(v) counts each incident edge once.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from per-vertex sorted adjacency (used by GraphBuilder; prefer
+  /// GraphBuilder for general construction).
+  Graph(Vertex num_vertices, std::vector<std::int64_t> offsets,
+        std::vector<Neighbor> adjacency);
+
+  Vertex num_vertices() const { return n_; }
+
+  /// Number of undirected edges (each counted once).
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(adjacency_.size()) / 2;
+  }
+
+  std::int64_t degree(Vertex v) const {
+    bounds_check(v);
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+           offsets_[static_cast<std::size_t>(v)];
+  }
+
+  /// Neighbors of v, sorted by target id.
+  std::span<const Neighbor> neighbors(Vertex v) const {
+    bounds_check(v);
+    const auto begin = offsets_[static_cast<std::size_t>(v)];
+    const auto end = offsets_[static_cast<std::size_t>(v) + 1];
+    return {adjacency_.data() + begin, static_cast<std::size_t>(end - begin)};
+  }
+
+  /// True iff an edge {u, v} exists (binary search on u's adjacency).
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Weight of edge {u, v}; CHECK-fails if absent.
+  Weight edge_weight(Vertex u, Vertex v) const;
+
+  /// Smallest edge weight in the graph (0 for an edgeless graph).
+  Weight min_edge_weight() const;
+
+  /// Renumber vertices: new id of old vertex v is perm[v].
+  /// perm must be a permutation of [0, n).
+  Graph permuted(std::span<const Vertex> perm) const;
+
+  /// Subgraph induced by `vertices` (which must be distinct); vertex i of
+  /// the result corresponds to vertices[i].
+  Graph induced_subgraph(std::span<const Vertex> vertices) const;
+
+ private:
+  void bounds_check(Vertex v) const {
+    CAPSP_CHECK_MSG(v >= 0 && v < n_, "vertex " << v << " out of [0," << n_
+                                                << ")");
+  }
+
+  Vertex n_ = 0;
+  std::vector<std::int64_t> offsets_;   // size n_+1
+  std::vector<Neighbor> adjacency_;     // size 2m, sorted per vertex
+};
+
+/// Accumulates an edge list and produces a Graph.  Duplicate edges keep the
+/// minimum weight (consistent with min-plus semantics); self-loops are
+/// dropped (the distance matrix diagonal is fixed at zero).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex num_vertices) : n_(num_vertices) {
+    CAPSP_CHECK(num_vertices >= 0);
+  }
+
+  /// Add undirected edge {u, v} with the given weight.
+  void add_edge(Vertex u, Vertex v, Weight weight);
+
+  Vertex num_vertices() const { return n_; }
+
+  /// Build the CSR graph; the builder may not be reused afterwards.
+  Graph build() &&;
+
+ private:
+  struct RawEdge {
+    Vertex u, v;
+    Weight w;
+  };
+  Vertex n_;
+  std::vector<RawEdge> edges_;
+};
+
+}  // namespace capsp

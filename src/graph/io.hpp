@@ -1,0 +1,42 @@
+// Plain-text edge-list I/O.
+//
+// Format (whitespace separated, '#' comments):
+//   n m
+//   u v w        (m lines, 0-based endpoints)
+// This is deliberately simple — enough to persist generated instances and
+// load user graphs in the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace capsp {
+
+void write_edge_list(std::ostream& os, const Graph& graph);
+Graph read_edge_list(std::istream& is);
+
+void save_edge_list(const std::string& path, const Graph& graph);
+Graph load_edge_list(const std::string& path);
+
+/// DIMACS shortest-path format (.gr): "c" comments, one "p sp <n> <m>"
+/// problem line, "a <u> <v> <w>" arc lines with 1-based endpoints.  Arcs
+/// are symmetrized on read (this library is undirected); write emits one
+/// arc per direction, as road-network .gr files conventionally do.
+void write_dimacs(std::ostream& os, const Graph& graph);
+Graph read_dimacs(std::istream& is);
+
+/// METIS .graph format: header "<n> <m> [fmt]" followed by one line per
+/// vertex listing its (1-based) neighbors, with per-edge weights
+/// interleaved when fmt enables them (fmt "1" or "001").  "%" comments.
+/// Unweighted files load with unit weights; vertex weights/sizes
+/// (fmt "10"/"100" digits) are not supported and rejected.
+void write_metis(std::ostream& os, const Graph& graph);
+Graph read_metis(std::istream& is);
+
+/// Load by extension: ".gr" → DIMACS, ".graph"/".metis" → METIS,
+/// anything else → the native edge list.
+Graph load_graph_auto(const std::string& path);
+
+}  // namespace capsp

@@ -1,0 +1,261 @@
+#include "machine/collectives.hpp"
+
+#include <algorithm>
+
+#include "semiring/kernels.hpp"
+
+namespace capsp {
+namespace {
+
+/// Position of `rank` in `group`; CHECK-fails if absent or duplicated.
+std::size_t position_in(std::span<const RankId> group, RankId rank) {
+  std::size_t pos = group.size();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] == rank) {
+      CAPSP_CHECK_MSG(pos == group.size(), "rank " << rank
+                                                   << " duplicated in group");
+      pos = i;
+    }
+  }
+  CAPSP_CHECK_MSG(pos < group.size(), "rank " << rank << " not in group");
+  return pos;
+}
+
+RankId member(std::span<const RankId> group, std::size_t root_pos,
+              std::size_t rel) {
+  return group[(root_pos + rel) % group.size()];
+}
+
+/// Word range [begin, end) of pipeline chunk `chunk` of a `words`-word
+/// payload split into `parts` chunks.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t words,
+                                                std::size_t parts,
+                                                std::size_t chunk) {
+  return {words * chunk / parts, words * (chunk + 1) / parts};
+}
+
+/// Pipelined broadcast: root scatters one chunk per member, then a ring
+/// allgather circulates every chunk to everyone.  Message matching within
+/// a (src, dst, tag) triple is FIFO, so the whole collective uses the
+/// caller's single tag.
+void broadcast_pipelined(Comm& comm, std::span<const RankId> group,
+                         RankId root, DistBlock& block, Tag tag) {
+  const std::size_t k = group.size();
+  const std::size_t pos = position_in(group, comm.rank());
+  const std::size_t root_pos = position_in(group, root);
+  auto data = block.data();
+  const std::size_t words = data.size();
+
+  // Scatter: root keeps its own chunk, ships the rest.
+  if (pos == root_pos) {
+    for (std::size_t m = 0; m < k; ++m) {
+      if (m == root_pos) continue;
+      const auto [begin, end] = chunk_range(words, k, m);
+      comm.send(group[m], tag, data.subspan(begin, end - begin));
+    }
+  } else {
+    const auto [begin, end] = chunk_range(words, k, pos);
+    const auto piece = comm.recv(root, tag);
+    CAPSP_CHECK(piece.size() == end - begin);
+    std::copy(piece.begin(), piece.end(), data.begin() + begin);
+  }
+
+  // Ring allgather: at step t, member m forwards chunk (m - t) and
+  // receives chunk (m - 1 - t) from its left neighbour.
+  const RankId right = group[(pos + 1) % k];
+  const RankId left = group[(pos + k - 1) % k];
+  for (std::size_t t = 0; t + 1 < k; ++t) {
+    const std::size_t send_chunk = (pos + k - t % k) % k;
+    const auto [sb, se] = chunk_range(words, k, send_chunk);
+    comm.send(right, tag, data.subspan(sb, se - sb));
+    const std::size_t recv_chunk = (pos + k - 1 - t % k + k) % k;
+    const auto [rb, re] = chunk_range(words, k, recv_chunk);
+    const auto piece = comm.recv(left, tag);
+    CAPSP_CHECK(piece.size() == re - rb);
+    std::copy(piece.begin(), piece.end(), data.begin() + rb);
+  }
+}
+
+/// Pipelined reduction: ring reduce-scatter (after k-1 steps member m owns
+/// the fully combined chunk (m+1) mod k), then the owners ship their
+/// chunks to the root.
+void reduce_pipelined(Comm& comm, std::span<const RankId> group, RankId root,
+                      DistBlock& block, Tag tag, ReduceCombiner combine) {
+  const std::size_t k = group.size();
+  const std::size_t pos = position_in(group, comm.rank());
+  const std::size_t root_pos = position_in(group, root);
+  DistBlock accum = block;
+  auto data = accum.data();
+  const std::size_t words = data.size();
+
+  const RankId right = group[(pos + 1) % k];
+  const RankId left = group[(pos + k - 1) % k];
+  for (std::size_t t = 0; t + 1 < k; ++t) {
+    const std::size_t send_chunk = (pos + k - t % k) % k;
+    const auto [sb, se] = chunk_range(words, k, send_chunk);
+    comm.send(right, tag, data.subspan(sb, se - sb));
+    const std::size_t recv_chunk = (pos + k - 1 - t % k + k) % k;
+    const auto [rb, re] = chunk_range(words, k, recv_chunk);
+    const auto piece = comm.recv(left, tag);
+    CAPSP_CHECK(piece.size() == re - rb);
+    if (!piece.empty()) {
+      // Wrap the word ranges as 1-row blocks so the elementwise combiner
+      // applies uniformly.
+      DistBlock mine(1, static_cast<std::int64_t>(piece.size()));
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(rb),
+                data.begin() + static_cast<std::ptrdiff_t>(re),
+                mine.data().begin());
+      DistBlock theirs(1, static_cast<std::int64_t>(piece.size()));
+      std::copy(piece.begin(), piece.end(), theirs.data().begin());
+      combine(mine, theirs);
+      std::copy(mine.data().begin(), mine.data().end(),
+                data.begin() + static_cast<std::ptrdiff_t>(rb));
+    }
+  }
+
+  // Member m now owns chunk (m + 1) mod k; gather the chunks at the root.
+  const std::size_t owned = (pos + 1) % k;
+  if (pos != root_pos) {
+    const auto [begin, end] = chunk_range(words, k, owned);
+    comm.send(root, tag, data.subspan(begin, end - begin));
+  } else {
+    DistBlock result = std::move(accum);
+    auto out = result.data();
+    for (std::size_t m = 0; m < k; ++m) {
+      if (m == root_pos) continue;
+      const std::size_t their_chunk = (m + 1) % k;
+      const auto [begin, end] = chunk_range(words, k, their_chunk);
+      const auto piece = comm.recv(group[m], tag);
+      CAPSP_CHECK(piece.size() == end - begin);
+      std::copy(piece.begin(), piece.end(), out.begin() + begin);
+    }
+    block = std::move(result);
+  }
+}
+
+}  // namespace
+
+void group_broadcast(Comm& comm, std::span<const RankId> group, RankId root,
+                     DistBlock& block, Tag tag,
+                     CollectiveAlgorithm algorithm) {
+  const std::size_t k = group.size();
+  if (k <= 1) return;
+  if (algorithm == CollectiveAlgorithm::kPipelined) {
+    broadcast_pipelined(comm, group, root, block, tag);
+    return;
+  }
+  const std::size_t root_pos = position_in(group, root);
+  const std::size_t pos = position_in(group, comm.rank());
+  const std::size_t rel = (pos + k - root_pos) % k;
+
+  // Classic binomial broadcast: receive from the peer that differs in the
+  // lowest set bit, then forward down the remaining bits, high to low.
+  std::size_t mask = 1;
+  while (mask < k) {
+    if (rel & mask) {
+      block = comm.recv_block(member(group, root_pos, rel - mask), tag,
+                              block.rows(), block.cols());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < k)
+      comm.send_block(member(group, root_pos, rel + mask), tag, block);
+    mask >>= 1;
+  }
+}
+
+void group_reduce(Comm& comm, std::span<const RankId> group, RankId root,
+                  DistBlock& block, Tag tag, ReduceCombiner combine,
+                  CollectiveAlgorithm algorithm) {
+  const std::size_t k = group.size();
+  if (k <= 1) return;
+  if (algorithm == CollectiveAlgorithm::kPipelined) {
+    reduce_pipelined(comm, group, root, block, tag, combine);
+    return;
+  }
+  const std::size_t root_pos = position_in(group, root);
+  const std::size_t pos = position_in(group, comm.rank());
+  const std::size_t rel = (pos + k - root_pos) % k;
+
+  // Binomial reduction mirror-image of the broadcast.  Work on a local
+  // accumulator so non-root callers keep their contribution intact.
+  DistBlock accum = block;
+  std::size_t mask = 1;
+  bool sent = false;
+  while (mask < k) {
+    if ((rel & mask) == 0) {
+      const std::size_t peer = rel + mask;
+      if (peer < k) {
+        const DistBlock contribution =
+            comm.recv_block(member(group, root_pos, peer), tag, accum.rows(),
+                            accum.cols());
+        combine(accum, contribution);
+      }
+    } else {
+      comm.send_block(member(group, root_pos, rel - mask), tag, accum);
+      sent = true;
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rel == 0) {
+    CAPSP_CHECK(!sent);
+    block = std::move(accum);
+  }
+}
+
+void group_reduce_min(Comm& comm, std::span<const RankId> group, RankId root,
+                      DistBlock& block, Tag tag,
+                      CollectiveAlgorithm algorithm) {
+  group_reduce(comm, group, root, block, tag, &elementwise_min, algorithm);
+}
+
+std::vector<DistBlock> group_gather(
+    Comm& comm, std::span<const RankId> group, RankId root,
+    const DistBlock& block,
+    std::span<const std::pair<std::int64_t, std::int64_t>> shapes, Tag tag) {
+  CAPSP_CHECK(shapes.size() == group.size());
+  const std::size_t pos = position_in(group, comm.rank());
+  CAPSP_CHECK(block.rows() == shapes[pos].first &&
+              block.cols() == shapes[pos].second);
+  if (comm.rank() != root) {
+    comm.send_block(root, tag + static_cast<Tag>(pos), block);
+    return {};
+  }
+  std::vector<DistBlock> out;
+  out.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] == root) {
+      out.push_back(block);
+    } else {
+      out.push_back(comm.recv_block(group[i], tag + static_cast<Tag>(i),
+                                    shapes[i].first, shapes[i].second));
+    }
+  }
+  return out;
+}
+
+DistBlock group_scatter(
+    Comm& comm, std::span<const RankId> group, RankId root,
+    std::span<const DistBlock> blocks,
+    std::span<const std::pair<std::int64_t, std::int64_t>> shapes, Tag tag) {
+  CAPSP_CHECK(shapes.size() == group.size());
+  const std::size_t pos = position_in(group, comm.rank());
+  if (comm.rank() == root) {
+    CAPSP_CHECK(blocks.size() == group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      CAPSP_CHECK(blocks[i].rows() == shapes[i].first &&
+                  blocks[i].cols() == shapes[i].second);
+      if (group[i] != root)
+        comm.send_block(group[i], tag + static_cast<Tag>(i), blocks[i]);
+    }
+    return blocks[position_in(group, root)];
+  }
+  return comm.recv_block(root, tag + static_cast<Tag>(pos),
+                         shapes[pos].first, shapes[pos].second);
+}
+
+}  // namespace capsp

@@ -1,0 +1,86 @@
+// Communication cost accounting (paper Sec. 3.1).
+//
+// The paper measures two quantities along the critical path, after Yang &
+// Miller: latency cost L (number of messages) and bandwidth cost B (number
+// of words).  Messages between separate pairs of processors that overlap in
+// time are counted once.  We meter this with a logical clock per rank:
+//
+//   send(dst, w):  clock += (1, w); the message carries the new clock
+//   recv(src):     clock  = max(clock + (1, w), message.clock)   [per axis]
+//
+// The +(1, w) on the receive models assumption (2) of the paper — a
+// processor can receive only one message at a time, so back-to-back
+// receives serialize — while the max() keeps disjoint concurrent transfers
+// from accumulating.  The machine-wide critical-path cost is the max of the
+// final clocks; message/word *volumes* are additionally counted per rank
+// and per algorithm phase so each lemma's per-region decomposition can be
+// checked.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace capsp {
+
+/// Logical (latency, words) clock carried by every message.
+struct CostClock {
+  double latency = 0;
+  double words = 0;
+
+  void advance(double messages, double word_count) {
+    latency += messages;
+    words += word_count;
+  }
+
+  /// Componentwise max (join of two histories).
+  void merge(const CostClock& other) {
+    latency = std::max(latency, other.latency);
+    words = std::max(words, other.words);
+  }
+};
+
+/// Message/word volume counted at the sender, per algorithm phase.
+struct PhaseVolume {
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+
+  PhaseVolume& operator+=(const PhaseVolume& o) {
+    messages += o.messages;
+    words += o.words;
+    return *this;
+  }
+};
+
+/// Per-rank cost state, owned by the Comm handle.
+struct RankCost {
+  CostClock clock;
+  std::map<std::string, PhaseVolume> volume_by_phase;
+  std::string current_phase = "default";
+
+  void count_send(std::int64_t word_count) {
+    auto& v = volume_by_phase[current_phase];
+    ++v.messages;
+    v.words += word_count;
+  }
+};
+
+/// Aggregated machine-wide costs after a run.
+struct CostReport {
+  double critical_latency = 0;     ///< max final latency clock (paper's L)
+  double critical_bandwidth = 0;   ///< max final word clock (paper's B)
+  std::int64_t total_messages = 0; ///< Σ over ranks (network volume)
+  std::int64_t total_words = 0;
+  std::int64_t max_rank_messages = 0;  ///< busiest rank, volume terms
+  std::int64_t max_rank_words = 0;
+  /// Per-phase volumes: total across ranks and per-rank maximum.
+  std::map<std::string, PhaseVolume> phase_total;
+  std::map<std::string, PhaseVolume> phase_max_rank;
+
+  /// Build from the final per-rank states.
+  static CostReport aggregate(const std::vector<RankCost>& ranks);
+};
+
+}  // namespace capsp

@@ -1,0 +1,183 @@
+#include "machine/machine.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace capsp {
+
+namespace {
+
+struct Message {
+  std::vector<Dist> payload;
+  CostClock clock;  // sender clock after charging this message
+};
+
+/// One rank's inbox: blocking retrieval by (source, tag).
+class Mailbox {
+ public:
+  void put(RankId src, Tag tag, Message message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace(Key{src, tag}, std::move(message));
+    }
+    cv_.notify_all();
+  }
+
+  Message take(RankId src, Tag tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const Key key{src, tag};
+    cv_.wait(lock, [&] { return aborted_ || queue_.count(key) > 0; });
+    auto it = queue_.find(key);
+    if (it == queue_.end()) {
+      CAPSP_CHECK(aborted_);
+      throw check_error("machine aborted while waiting for a message");
+    }
+    Message message = std::move(it->second);
+    queue_.erase(it);
+    return message;
+  }
+
+  /// Wake any blocked take() after another rank failed, so the whole
+  /// machine unwinds instead of deadlocking on a missing message.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  using Key = std::pair<RankId, Tag>;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<Key, Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+struct Machine::Impl {
+  explicit Impl(int num_ranks, bool record_traffic) : mailboxes(num_ranks) {
+    if (record_traffic) {
+      const auto cells = static_cast<std::size_t>(num_ranks) *
+                         static_cast<std::size_t>(num_ranks);
+      traffic.num_ranks = num_ranks;
+      traffic.words.assign(cells, 0);
+      traffic.messages.assign(cells, 0);
+    }
+  }
+  std::vector<Mailbox> mailboxes;
+  // Each rank writes only its own row, so no synchronization is needed.
+  TrafficMatrix traffic;
+};
+
+Machine::Machine(int num_ranks)
+    : num_ranks_(num_ranks),
+      impl_(std::make_unique<Impl>(num_ranks, false)) {
+  CAPSP_CHECK_MSG(num_ranks >= 1 && num_ranks <= 4096,
+                  "num_ranks=" << num_ranks);
+}
+
+Machine::~Machine() = default;
+
+int Comm::size() const { return machine_->size(); }
+
+void Comm::send(RankId dst, Tag tag, std::span<const Dist> payload) {
+  CAPSP_CHECK_MSG(dst >= 0 && dst < machine_->size(), "dst=" << dst);
+  CAPSP_CHECK_MSG(dst != rank_, "self-send on rank " << rank_);
+  const auto words = static_cast<std::int64_t>(payload.size());
+  cost_.clock.advance(1, static_cast<double>(words));
+  cost_.count_send(words);
+  auto& traffic = machine_->impl_->traffic;
+  if (traffic.num_ranks > 0) {
+    const auto cell = static_cast<std::size_t>(rank_) *
+                          static_cast<std::size_t>(traffic.num_ranks) +
+                      static_cast<std::size_t>(dst);
+    traffic.words[cell] += words;
+    ++traffic.messages[cell];
+  }
+  Message message;
+  message.payload.assign(payload.begin(), payload.end());
+  message.clock = cost_.clock;
+  machine_->impl_->mailboxes[static_cast<std::size_t>(dst)].put(
+      rank_, tag, std::move(message));
+}
+
+std::vector<Dist> Comm::recv(RankId src, Tag tag) {
+  CAPSP_CHECK_MSG(src >= 0 && src < machine_->size(), "src=" << src);
+  CAPSP_CHECK_MSG(src != rank_, "self-recv on rank " << rank_);
+  Message message =
+      machine_->impl_->mailboxes[static_cast<std::size_t>(rank_)].take(src,
+                                                                       tag);
+  // Receiving serializes on this rank (+1 message, +w words), but
+  // concurrent disjoint transfers merge via max — see cost_model.hpp.
+  cost_.clock.advance(1, static_cast<double>(message.payload.size()));
+  cost_.clock.merge(message.clock);
+  return std::move(message.payload);
+}
+
+DistBlock Comm::recv_block(RankId src, Tag tag, std::int64_t rows,
+                           std::int64_t cols) {
+  auto payload = recv(src, tag);
+  CAPSP_CHECK_MSG(static_cast<std::int64_t>(payload.size()) == rows * cols,
+                  "block payload " << payload.size() << " != " << rows << "x"
+                                   << cols);
+  DistBlock block(rows, cols);
+  std::copy(payload.begin(), payload.end(), block.data().begin());
+  return block;
+}
+
+void Machine::run(const std::function<void(Comm&)>& program) {
+  // Fresh mailboxes so a failed/aborted previous run cannot leak messages.
+  impl_ = std::make_unique<Impl>(num_ranks_, record_traffic_);
+
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(num_ranks_));
+  for (RankId r = 0; r < num_ranks_; ++r) comms.push_back(Comm(this, r));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (RankId r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        program(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        for (auto& mailbox : impl_->mailboxes) mailbox.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Every message sent must have been received — a leftover means the
+  // schedule was inconsistent across ranks.
+  for (RankId r = 0; r < num_ranks_; ++r)
+    CAPSP_CHECK_MSG(impl_->mailboxes[static_cast<std::size_t>(r)].empty(),
+                    "undelivered messages in rank " << r << "'s mailbox");
+
+  std::vector<RankCost> costs;
+  costs.reserve(comms.size());
+  for (const auto& comm : comms) costs.push_back(comm.cost());
+  report_ = CostReport::aggregate(costs);
+  traffic_ = std::move(impl_->traffic);
+}
+
+}  // namespace capsp

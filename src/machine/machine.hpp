@@ -1,0 +1,137 @@
+// The distributed-memory machine simulator.
+//
+// Substitutes for an MPI cluster (none is available in this environment,
+// and the paper's claims are communication *counts*, which this machine
+// meters exactly — see DESIGN.md).  Each rank runs the SPMD program on its
+// own std::thread with private state; the only interaction between ranks
+// is typed point-to-point messages through per-rank mailboxes.  Message
+// matching is MPI-like: (source, tag) with program-assigned tags.  Sends
+// are buffered (never block); receives block until the matching message
+// arrives.  Deadlock-freedom is the program's responsibility; the
+// algorithms here derive every rank's operation sequence from one global
+// schedule, which makes the communication graph acyclic by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/cost_model.hpp"
+#include "semiring/block.hpp"
+#include "util/check.hpp"
+
+namespace capsp {
+
+using RankId = int;
+using Tag = std::int64_t;
+
+class Machine;
+
+/// Per-rank communication handle, passed to the SPMD program.  Not
+/// thread-safe across ranks (each rank uses only its own Comm).
+class Comm {
+ public:
+  RankId rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered point-to-point send; never blocks.  Word count = payload
+  /// size.  Self-sends are forbidden (local data needs no message).
+  void send(RankId dst, Tag tag, std::span<const Dist> payload);
+
+  /// Blocking receive of the message (src, tag).
+  std::vector<Dist> recv(RankId src, Tag tag);
+
+  /// Convenience: send a block's payload / receive into a shaped block.
+  void send_block(RankId dst, Tag tag, const DistBlock& block) {
+    send(dst, tag, block.data());
+  }
+  DistBlock recv_block(RankId src, Tag tag, std::int64_t rows,
+                       std::int64_t cols);
+
+  /// Label subsequent sends for per-phase volume attribution.
+  void set_phase(std::string phase) {
+    cost_.current_phase = std::move(phase);
+  }
+
+  /// Zero this rank's critical-path clock.  Call after setup/data
+  /// distribution so the measured critical path covers only the algorithm
+  /// (all setup messages must already be received on this rank).
+  void reset_clock() { cost_.clock = CostClock{}; }
+
+  const CostClock& clock() const { return cost_.clock; }
+  const RankCost& cost() const { return cost_; }
+
+ private:
+  friend class Machine;
+  Comm(Machine* machine, RankId rank) : machine_(machine), rank_(rank) {}
+
+  Machine* machine_;
+  RankId rank_;
+  RankCost cost_;
+};
+
+/// Aggregated rank-pair traffic of one run (optional recording).
+/// Row-major p×p: entry (src, dst) counts words/messages src sent to dst.
+struct TrafficMatrix {
+  int num_ranks = 0;
+  std::vector<std::int64_t> words;
+  std::vector<std::int64_t> messages;
+
+  std::int64_t words_between(RankId src, RankId dst) const {
+    return words[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(num_ranks) +
+                 static_cast<std::size_t>(dst)];
+  }
+  std::int64_t messages_between(RankId src, RankId dst) const {
+    return messages[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(num_ranks) +
+                    static_cast<std::size_t>(dst)];
+  }
+};
+
+/// A p-rank machine.  Construct, call run() with the SPMD program, then
+/// read the cost report.  A Machine may be run() multiple times; costs
+/// reset at the start of each run.
+class Machine {
+ public:
+  explicit Machine(int num_ranks);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int size() const { return num_ranks_; }
+
+  /// Record per-rank-pair traffic during subsequent run()s (off by
+  /// default; costs a p² counter table).
+  void enable_traffic_recording(bool enabled) {
+    record_traffic_ = enabled;
+  }
+
+  /// Execute `program` on every rank concurrently; returns when all ranks
+  /// finish.  If any rank throws, the first exception is rethrown here
+  /// (after all threads have been joined).
+  void run(const std::function<void(Comm&)>& program);
+
+  /// Cost aggregation for the most recent run().
+  const CostReport& report() const { return report_; }
+
+  /// Rank-pair traffic of the most recent run (empty matrices unless
+  /// enable_traffic_recording(true) was set before run()).
+  const TrafficMatrix& traffic() const { return traffic_; }
+
+ private:
+  friend class Comm;
+  struct Impl;
+
+  int num_ranks_;
+  bool record_traffic_ = false;
+  std::unique_ptr<Impl> impl_;
+  CostReport report_;
+  TrafficMatrix traffic_;
+};
+
+}  // namespace capsp

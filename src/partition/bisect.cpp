@@ -1,0 +1,302 @@
+#include "partition/bisect.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+
+namespace capsp {
+namespace {
+
+/// Working representation during multilevel bisection: vertex weights count
+/// how many original vertices a coarse vertex represents; edge weights count
+/// collapsed original edges (so coarse cuts equal fine cuts).
+struct MultiGraph {
+  std::vector<std::int64_t> vweight;
+  std::vector<std::vector<std::pair<Vertex, std::int64_t>>> adj;
+
+  Vertex num_vertices() const { return static_cast<Vertex>(vweight.size()); }
+
+  std::int64_t total_weight() const {
+    return std::accumulate(vweight.begin(), vweight.end(), std::int64_t{0});
+  }
+
+  static MultiGraph from_graph(const Graph& graph) {
+    MultiGraph mg;
+    const auto n = static_cast<std::size_t>(graph.num_vertices());
+    mg.vweight.assign(n, 1);
+    mg.adj.resize(n);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      for (const auto& nb : graph.neighbors(v))
+        mg.adj[static_cast<std::size_t>(v)].push_back({nb.to, 1});
+    return mg;
+  }
+};
+
+/// Heavy-edge matching: returns coarse-vertex id per fine vertex, or the
+/// number of coarse vertices via the out-parameter.
+std::vector<Vertex> heavy_edge_matching(const MultiGraph& mg, Rng& rng,
+                                        Vertex& num_coarse) {
+  const Vertex n = mg.num_vertices();
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+
+  std::vector<Vertex> match(static_cast<std::size_t>(n), -1);
+  for (Vertex v : order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    Vertex best = -1;
+    std::int64_t best_w = -1;
+    for (const auto& [u, w] : mg.adj[static_cast<std::size_t>(v)]) {
+      if (u != v && match[static_cast<std::size_t>(u)] < 0 && w > best_w) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // matched with itself
+    }
+  }
+
+  std::vector<Vertex> coarse_id(static_cast<std::size_t>(n), -1);
+  num_coarse = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (coarse_id[static_cast<std::size_t>(v)] >= 0) continue;
+    const Vertex partner = match[static_cast<std::size_t>(v)];
+    coarse_id[static_cast<std::size_t>(v)] = num_coarse;
+    coarse_id[static_cast<std::size_t>(partner)] = num_coarse;
+    ++num_coarse;
+  }
+  return coarse_id;
+}
+
+MultiGraph contract(const MultiGraph& mg, const std::vector<Vertex>& coarse_id,
+                    Vertex num_coarse) {
+  MultiGraph coarse;
+  coarse.vweight.assign(static_cast<std::size_t>(num_coarse), 0);
+  coarse.adj.resize(static_cast<std::size_t>(num_coarse));
+  for (Vertex v = 0; v < mg.num_vertices(); ++v)
+    coarse.vweight[static_cast<std::size_t>(
+        coarse_id[static_cast<std::size_t>(v)])] +=
+        mg.vweight[static_cast<std::size_t>(v)];
+
+  // Accumulate parallel edges with a scratch array indexed by coarse target,
+  // visiting the fine vertices bucketed per coarse source.
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(num_coarse), 0);
+  std::vector<Vertex> touched;
+  std::vector<std::vector<Vertex>> members(
+      static_cast<std::size_t>(num_coarse));
+  for (Vertex v = 0; v < mg.num_vertices(); ++v)
+    members[static_cast<std::size_t>(coarse_id[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  for (Vertex cv = 0; cv < num_coarse; ++cv) {
+    touched.clear();
+    for (Vertex v : members[static_cast<std::size_t>(cv)]) {
+      for (const auto& [u, w] : mg.adj[static_cast<std::size_t>(v)]) {
+        const Vertex cu = coarse_id[static_cast<std::size_t>(u)];
+        if (cu == cv) continue;  // internal edge disappears
+        if (acc[static_cast<std::size_t>(cu)] == 0) touched.push_back(cu);
+        acc[static_cast<std::size_t>(cu)] += w;
+      }
+    }
+    auto& out = coarse.adj[static_cast<std::size_t>(cv)];
+    out.reserve(touched.size());
+    for (Vertex cu : touched) {
+      out.push_back({cu, acc[static_cast<std::size_t>(cu)]});
+      acc[static_cast<std::size_t>(cu)] = 0;
+    }
+  }
+  return coarse;
+}
+
+/// Grow side 0 by BFS from `seed` until it holds ~half the total weight.
+std::vector<std::uint8_t> grow_partition(const MultiGraph& mg, Vertex seed) {
+  const Vertex n = mg.num_vertices();
+  const std::int64_t half = mg.total_weight() / 2;
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 1);
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::queue<Vertex> queue;
+  std::int64_t grown = 0;
+  Vertex scan = 0;  // restart BFS from unvisited vertices if a component ends
+  queue.push(seed);
+  visited[static_cast<std::size_t>(seed)] = true;
+  while (grown < half) {
+    if (queue.empty()) {
+      while (scan < n && visited[static_cast<std::size_t>(scan)]) ++scan;
+      if (scan >= n) break;
+      visited[static_cast<std::size_t>(scan)] = true;
+      queue.push(scan);
+    }
+    const Vertex v = queue.front();
+    queue.pop();
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += mg.vweight[static_cast<std::size_t>(v)];
+    for (const auto& [u, w] : mg.adj[static_cast<std::size_t>(v)]) {
+      (void)w;
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = true;
+        queue.push(u);
+      }
+    }
+  }
+  return side;
+}
+
+std::int64_t weighted_cut(const MultiGraph& mg,
+                          const std::vector<std::uint8_t>& side) {
+  std::int64_t cut = 0;
+  for (Vertex v = 0; v < mg.num_vertices(); ++v)
+    for (const auto& [u, w] : mg.adj[static_cast<std::size_t>(v)])
+      if (side[static_cast<std::size_t>(v)] !=
+          side[static_cast<std::size_t>(u)])
+        cut += w;
+  return cut / 2;
+}
+
+/// One Fiduccia–Mattheyses pass: tentatively move every vertex once in
+/// best-gain order (subject to balance), then roll back to the best prefix.
+void fm_pass(const MultiGraph& mg, std::vector<std::uint8_t>& side,
+             std::int64_t max_side_weight) {
+  const Vertex n = mg.num_vertices();
+  std::vector<std::int64_t> gain(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> side_weight(2, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    side_weight[side[static_cast<std::size_t>(v)]] +=
+        mg.vweight[static_cast<std::size_t>(v)];
+    for (const auto& [u, w] : mg.adj[static_cast<std::size_t>(v)])
+      gain[static_cast<std::size_t>(v)] +=
+          (side[static_cast<std::size_t>(u)] !=
+           side[static_cast<std::size_t>(v)])
+              ? w
+              : -w;
+  }
+
+  using Entry = std::pair<std::int64_t, Vertex>;  // (gain, vertex), max-heap
+  std::priority_queue<Entry> heap;
+  for (Vertex v = 0; v < n; ++v)
+    heap.push({gain[static_cast<std::size_t>(v)], v});
+
+  std::vector<bool> moved(static_cast<std::size_t>(n), false);
+  std::vector<Vertex> move_order;
+  std::int64_t cum_gain = 0, best_gain = 0;
+  std::size_t best_prefix = 0;
+
+  while (!heap.empty()) {
+    const auto [g, v] = heap.top();
+    heap.pop();
+    if (moved[static_cast<std::size_t>(v)] ||
+        g != gain[static_cast<std::size_t>(v)])
+      continue;  // stale heap entry
+    const int from = side[static_cast<std::size_t>(v)];
+    const std::int64_t vw = mg.vweight[static_cast<std::size_t>(v)];
+    if (side_weight[1 - from] + vw > max_side_weight) continue;
+
+    moved[static_cast<std::size_t>(v)] = true;
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(1 - from);
+    side_weight[from] -= vw;
+    side_weight[1 - from] += vw;
+    move_order.push_back(v);
+    cum_gain += g;
+    if (cum_gain > best_gain) {
+      best_gain = cum_gain;
+      best_prefix = move_order.size();
+    }
+    for (const auto& [u, w] : mg.adj[static_cast<std::size_t>(v)]) {
+      if (moved[static_cast<std::size_t>(u)]) continue;
+      // v changed sides: edge (u,v) flips contribution by 2w.
+      gain[static_cast<std::size_t>(u)] +=
+          (side[static_cast<std::size_t>(u)] !=
+           side[static_cast<std::size_t>(v)])
+              ? 2 * w
+              : -2 * w;
+      heap.push({gain[static_cast<std::size_t>(u)], u});
+    }
+  }
+  // Roll back moves after the best prefix.
+  for (std::size_t i = move_order.size(); i > best_prefix; --i) {
+    const Vertex v = move_order[i - 1];
+    side[static_cast<std::size_t>(v)] =
+        static_cast<std::uint8_t>(1 - side[static_cast<std::size_t>(v)]);
+  }
+}
+
+std::vector<std::uint8_t> bisect_multigraph(const MultiGraph& mg, Rng& rng,
+                                            const BisectOptions& options) {
+  const Vertex n = mg.num_vertices();
+  const std::int64_t total = mg.total_weight();
+  const auto max_side_weight = static_cast<std::int64_t>(
+      static_cast<double>(total) * (0.5 + options.balance_tolerance));
+
+  if (n == 0) return {};
+  if (n <= options.coarsen_target) {
+    // Coarsest level: best of several grown partitions, then refine.
+    std::vector<std::uint8_t> best;
+    std::int64_t best_cut = -1;
+    for (int trial = 0; trial < std::max(1, options.initial_trials);
+         ++trial) {
+      const auto seed =
+          static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+      auto side = grow_partition(mg, seed);
+      for (int pass = 0; pass < options.refine_passes; ++pass)
+        fm_pass(mg, side, max_side_weight);
+      const std::int64_t cut = weighted_cut(mg, side);
+      if (best_cut < 0 || cut < best_cut) {
+        best_cut = cut;
+        best = std::move(side);
+      }
+    }
+    return best;
+  }
+
+  Vertex num_coarse = 0;
+  const auto coarse_id = heavy_edge_matching(mg, rng, num_coarse);
+  if (num_coarse == n) {
+    // Matching made no progress (e.g. edgeless graph): fall back to the
+    // direct method on this level.
+    BisectOptions direct = options;
+    direct.coarsen_target = n;
+    return bisect_multigraph(mg, rng, direct);
+  }
+  const MultiGraph coarse = contract(mg, coarse_id, num_coarse);
+  const auto coarse_side = bisect_multigraph(coarse, rng, options);
+
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v)
+    side[static_cast<std::size_t>(v)] =
+        coarse_side[static_cast<std::size_t>(
+            coarse_id[static_cast<std::size_t>(v)])];
+  for (int pass = 0; pass < options.refine_passes; ++pass)
+    fm_pass(mg, side, max_side_weight);
+  return side;
+}
+
+}  // namespace
+
+Bisection bisect_graph(const Graph& graph, Rng& rng,
+                       const BisectOptions& options) {
+  Bisection result;
+  if (graph.num_vertices() == 0) return result;
+  const MultiGraph mg = MultiGraph::from_graph(graph);
+  result.side = bisect_multigraph(mg, rng, options);
+  result.cut_edges = cut_size(graph, result.side);
+  return result;
+}
+
+std::int64_t cut_size(const Graph& graph,
+                      const std::vector<std::uint8_t>& side) {
+  CAPSP_CHECK(side.size() == static_cast<std::size_t>(graph.num_vertices()));
+  std::int64_t cut = 0;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    for (const auto& nb : graph.neighbors(v))
+      if (v < nb.to && side[static_cast<std::size_t>(v)] !=
+                           side[static_cast<std::size_t>(nb.to)])
+        ++cut;
+  return cut;
+}
+
+}  // namespace capsp

@@ -1,0 +1,51 @@
+// Multilevel graph bisection (the METIS-style substrate of Sec. 4.1).
+//
+// Three phases, as in Karypis & Kumar: coarsening by heavy-edge matching,
+// initial partitioning by BFS region growing from a pseudo-peripheral seed,
+// and Fiduccia–Mattheyses boundary refinement during uncoarsening.  The
+// output is an edge bisection; `vertex_separator` (separator.hpp) turns it
+// into the vertex separator the ND process needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace capsp {
+
+struct BisectOptions {
+  /// Stop coarsening once the graph is at most this many vertices.
+  Vertex coarsen_target = 48;
+  /// FM refinement passes per uncoarsening level.
+  int refine_passes = 6;
+  /// Allowed deviation of either side from n/2, as a fraction of n.
+  double balance_tolerance = 0.1;
+  /// Independent initial-partition trials on the coarsest graph.
+  int initial_trials = 4;
+};
+
+struct Bisection {
+  std::vector<std::uint8_t> side;  ///< 0/1 per vertex
+  std::int64_t cut_edges = 0;      ///< edges crossing the bisection
+
+  /// Number of vertices on side s.
+  Vertex side_size(int s) const {
+    Vertex count = 0;
+    for (auto v : side) count += (v == s);
+    return count;
+  }
+};
+
+/// Bisect `graph` into two balanced halves minimizing the edge cut.
+/// Deterministic given `rng`'s state.  Works on any graph, including
+/// disconnected and empty ones.
+Bisection bisect_graph(const Graph& graph, Rng& rng,
+                       const BisectOptions& options = {});
+
+/// Recompute the cut size of an assignment (testing / verification).
+std::int64_t cut_size(const Graph& graph,
+                      const std::vector<std::uint8_t>& side);
+
+}  // namespace capsp

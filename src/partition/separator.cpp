@@ -1,0 +1,172 @@
+#include "partition/separator.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace capsp {
+
+std::vector<Vertex> hopcroft_karp(
+    const std::vector<std::vector<Vertex>>& adjacency, Vertex num_right,
+    Vertex& matching_size) {
+  const auto num_left = static_cast<Vertex>(adjacency.size());
+  std::vector<Vertex> match_left(static_cast<std::size_t>(num_left), -1);
+  std::vector<Vertex> match_right(static_cast<std::size_t>(num_right), -1);
+  std::vector<Vertex> dist(static_cast<std::size_t>(num_left));
+  constexpr Vertex kUnreached = std::numeric_limits<Vertex>::max();
+
+  auto bfs = [&]() -> bool {
+    std::queue<Vertex> queue;
+    for (Vertex l = 0; l < num_left; ++l) {
+      if (match_left[static_cast<std::size_t>(l)] < 0) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        queue.push(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kUnreached;
+      }
+    }
+    bool found_augmenting = false;
+    while (!queue.empty()) {
+      const Vertex l = queue.front();
+      queue.pop();
+      for (Vertex r : adjacency[static_cast<std::size_t>(l)]) {
+        const Vertex next = match_right[static_cast<std::size_t>(r)];
+        if (next < 0) {
+          found_augmenting = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kUnreached) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_augmenting;
+  };
+
+  std::function<bool(Vertex)> dfs = [&](Vertex l) -> bool {
+    for (Vertex r : adjacency[static_cast<std::size_t>(l)]) {
+      const Vertex next = match_right[static_cast<std::size_t>(r)];
+      if (next < 0 || (dist[static_cast<std::size_t>(next)] ==
+                           dist[static_cast<std::size_t>(l)] + 1 &&
+                       dfs(next))) {
+        match_left[static_cast<std::size_t>(l)] = r;
+        match_right[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kUnreached;
+    return false;
+  };
+
+  matching_size = 0;
+  while (bfs()) {
+    for (Vertex l = 0; l < num_left; ++l)
+      if (match_left[static_cast<std::size_t>(l)] < 0 && dfs(l))
+        ++matching_size;
+  }
+  return match_left;
+}
+
+SeparatorPartition vertex_separator(const Graph& graph,
+                                    const Bisection& bisection) {
+  const Vertex n = graph.num_vertices();
+  CAPSP_CHECK(bisection.side.size() == static_cast<std::size_t>(n));
+
+  // Collect boundary vertices: endpoints of cut edges, per side.
+  std::vector<Vertex> left_id(static_cast<std::size_t>(n), -1);
+  std::vector<Vertex> right_id(static_cast<std::size_t>(n), -1);
+  std::vector<Vertex> left_vertices, right_vertices;
+  for (Vertex v = 0; v < n; ++v) {
+    for (const auto& nb : graph.neighbors(v)) {
+      if (bisection.side[static_cast<std::size_t>(v)] ==
+          bisection.side[static_cast<std::size_t>(nb.to)])
+        continue;
+      if (bisection.side[static_cast<std::size_t>(v)] == 0) {
+        if (left_id[static_cast<std::size_t>(v)] < 0) {
+          left_id[static_cast<std::size_t>(v)] =
+              static_cast<Vertex>(left_vertices.size());
+          left_vertices.push_back(v);
+        }
+      } else if (right_id[static_cast<std::size_t>(v)] < 0) {
+        right_id[static_cast<std::size_t>(v)] =
+            static_cast<Vertex>(right_vertices.size());
+        right_vertices.push_back(v);
+      }
+    }
+  }
+
+  // Bipartite boundary graph over the cut edges.
+  std::vector<std::vector<Vertex>> boundary(left_vertices.size());
+  for (std::size_t li = 0; li < left_vertices.size(); ++li) {
+    const Vertex v = left_vertices[li];
+    for (const auto& nb : graph.neighbors(v)) {
+      if (bisection.side[static_cast<std::size_t>(nb.to)] == 1)
+        boundary[li].push_back(right_id[static_cast<std::size_t>(nb.to)]);
+    }
+  }
+
+  Vertex matching_size = 0;
+  const auto match_left = hopcroft_karp(
+      boundary, static_cast<Vertex>(right_vertices.size()), matching_size);
+
+  // König: Z = left vertices unmatched or reachable by alternating paths;
+  // the minimum cover is (L \ Z) ∪ (R ∩ Z).
+  std::vector<bool> z_left(left_vertices.size(), false);
+  std::vector<bool> z_right(right_vertices.size(), false);
+  std::vector<Vertex> match_right(right_vertices.size(), -1);
+  for (std::size_t li = 0; li < left_vertices.size(); ++li)
+    if (match_left[li] >= 0)
+      match_right[static_cast<std::size_t>(match_left[li])] =
+          static_cast<Vertex>(li);
+
+  std::queue<Vertex> queue;
+  for (std::size_t li = 0; li < left_vertices.size(); ++li) {
+    if (match_left[li] < 0) {
+      z_left[li] = true;
+      queue.push(static_cast<Vertex>(li));
+    }
+  }
+  while (!queue.empty()) {
+    const Vertex li = queue.front();
+    queue.pop();
+    for (Vertex ri : boundary[static_cast<std::size_t>(li)]) {
+      if (z_right[static_cast<std::size_t>(ri)]) continue;
+      if (match_left[static_cast<std::size_t>(li)] == ri)
+        continue;  // alternating path must leave L via a non-matching edge
+      z_right[static_cast<std::size_t>(ri)] = true;
+      const Vertex next = match_right[static_cast<std::size_t>(ri)];
+      if (next >= 0 && !z_left[static_cast<std::size_t>(next)]) {
+        z_left[static_cast<std::size_t>(next)] = true;
+        queue.push(next);
+      }
+    }
+  }
+
+  std::vector<bool> in_separator(static_cast<std::size_t>(n), false);
+  for (std::size_t li = 0; li < left_vertices.size(); ++li)
+    if (!z_left[li])
+      in_separator[static_cast<std::size_t>(left_vertices[li])] = true;
+  for (std::size_t ri = 0; ri < right_vertices.size(); ++ri)
+    if (z_right[ri])
+      in_separator[static_cast<std::size_t>(right_vertices[ri])] = true;
+
+  SeparatorPartition out;
+  for (Vertex v = 0; v < n; ++v) {
+    if (in_separator[static_cast<std::size_t>(v)]) {
+      out.separator.push_back(v);
+    } else if (bisection.side[static_cast<std::size_t>(v)] == 0) {
+      out.v1.push_back(v);
+    } else {
+      out.v2.push_back(v);
+    }
+  }
+  return out;
+}
+
+SeparatorPartition find_separator(const Graph& graph, Rng& rng,
+                                  const BisectOptions& options) {
+  return vertex_separator(graph, bisect_graph(graph, rng, options));
+}
+
+}  // namespace capsp

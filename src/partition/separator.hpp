@@ -1,0 +1,41 @@
+// Vertex separator extraction (paper Sec. 4.1).
+//
+// Given an edge bisection, the minimal vertex separator covering the cut is
+// a minimum vertex cover of the bipartite "boundary" graph formed by the
+// cut edges.  We compute a maximum matching with Hopcroft–Karp and convert
+// it to a minimum cover via König's construction, so the separator is
+// exactly optimal *for the given bisection* — the same reduction METIS uses.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/bisect.hpp"
+
+namespace capsp {
+
+/// A vertex 3-partition V = V1 ∪ S ∪ V2 with no V1–V2 edges.
+struct SeparatorPartition {
+  std::vector<Vertex> v1;
+  std::vector<Vertex> v2;
+  std::vector<Vertex> separator;
+};
+
+/// Convert an edge bisection of `graph` into a vertex separator partition.
+/// Every cut edge has at least one endpoint in `separator`; v1/v2 retain
+/// the bisection sides minus the separator.
+SeparatorPartition vertex_separator(const Graph& graph,
+                                    const Bisection& bisection);
+
+/// Convenience: bisect and extract in one call.
+SeparatorPartition find_separator(const Graph& graph, Rng& rng,
+                                  const BisectOptions& options = {});
+
+/// Maximum bipartite matching via Hopcroft–Karp.  `adjacency[l]` lists the
+/// right-vertices adjacent to left-vertex l; returns match_left (size
+/// #left, -1 if unmatched) with the matching size via the out-parameter.
+std::vector<Vertex> hopcroft_karp(
+    const std::vector<std::vector<Vertex>>& adjacency, Vertex num_right,
+    Vertex& matching_size);
+
+}  // namespace capsp

@@ -1,0 +1,95 @@
+// Dense rectangular distance block (row-major), the unit of storage and of
+// communication in every distributed algorithm here: ranks own blocks,
+// messages carry blocks, kernels transform blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "semiring/dist.hpp"
+#include "util/check.hpp"
+
+namespace capsp {
+
+/// Dense block of tropical-semiring values.  A 0×k or k×0 block is legal
+/// (empty supernodes produce them) and all operations treat it as a no-op.
+class DistBlock {
+ public:
+  DistBlock() = default;
+
+  /// rows×cols block filled with `fill` (default: all-infinite).
+  DistBlock(std::int64_t rows, std::int64_t cols, Dist fill = kInf)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {
+    CAPSP_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  Dist& at(std::int64_t r, std::int64_t c) {
+    bounds_check(r, c);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  Dist at(std::int64_t r, std::int64_t c) const {
+    bounds_check(r, c);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Raw row-major payload (the wire format for messages).
+  std::span<Dist> data() { return data_; }
+  std::span<const Dist> data() const { return data_; }
+
+  Dist* row(std::int64_t r) {
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+  const Dist* row(std::int64_t r) const {
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+
+  /// Set the diagonal to zero (block must be square); the distance-matrix
+  /// invariant A(v, v) = 0.
+  void zero_diagonal() {
+    CAPSP_CHECK(rows_ == cols_);
+    for (std::int64_t i = 0; i < rows_; ++i) at(i, i) = 0;
+  }
+
+  /// True iff every entry is +infinity (the paper's "empty block").
+  bool all_infinite() const {
+    for (Dist d : data_)
+      if (!is_inf(d)) return false;
+    return true;
+  }
+
+  DistBlock transposed() const {
+    DistBlock t(cols_, rows_);
+    for (std::int64_t r = 0; r < rows_; ++r)
+      for (std::int64_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+    return t;
+  }
+
+  /// Copy the rectangle [r0, r0+rows) × [c0, c0+cols) into a new block.
+  DistBlock sub_block(std::int64_t r0, std::int64_t c0, std::int64_t rows,
+                      std::int64_t cols) const;
+
+  /// Overwrite the rectangle at (r0, c0) with `src`.
+  void set_sub_block(std::int64_t r0, std::int64_t c0, const DistBlock& src);
+
+  friend bool operator==(const DistBlock&, const DistBlock&) = default;
+
+ private:
+  void bounds_check(std::int64_t r, std::int64_t c) const {
+    CAPSP_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                    "(" << r << "," << c << ") outside " << rows_ << "x"
+                        << cols_);
+  }
+
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<Dist> data_;
+};
+
+}  // namespace capsp

@@ -1,0 +1,64 @@
+#include "semiring/block_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'P', 'S', 'P', 'D', 'B', '1'};
+
+}  // namespace
+
+void write_block(std::ostream& os, const DistBlock& block) {
+  os.write(kMagic, sizeof(kMagic));
+  const std::int64_t rows = block.rows(), cols = block.cols();
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  if (block.size() > 0)
+    os.write(reinterpret_cast<const char*>(block.data().data()),
+             static_cast<std::streamsize>(block.data().size() *
+                                          sizeof(Dist)));
+  CAPSP_CHECK_MSG(os.good(), "block write failed");
+}
+
+DistBlock read_block(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  CAPSP_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) ==
+                                   0,
+                  "not a capsp distance-block file (bad magic)");
+  std::int64_t rows = 0, cols = 0;
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  CAPSP_CHECK_MSG(is.good() && rows >= 0 && cols >= 0 &&
+                      rows < (std::int64_t{1} << 32) &&
+                      cols < (std::int64_t{1} << 32),
+                  "block header corrupt: " << rows << "x" << cols);
+  DistBlock block(rows, cols);
+  if (block.size() > 0) {
+    is.read(reinterpret_cast<char*>(block.data().data()),
+            static_cast<std::streamsize>(block.data().size() * sizeof(Dist)));
+    CAPSP_CHECK_MSG(is.good(), "block payload truncated");
+  }
+  // Must be exactly at EOF for a well-formed file.
+  is.peek();
+  CAPSP_CHECK_MSG(is.eof(), "trailing bytes after block payload");
+  return block;
+}
+
+void save_block(const std::string& path, const DistBlock& block) {
+  std::ofstream os(path, std::ios::binary);
+  CAPSP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_block(os, block);
+}
+
+DistBlock load_block(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CAPSP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_block(is);
+}
+
+}  // namespace capsp

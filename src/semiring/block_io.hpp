@@ -1,0 +1,22 @@
+// Binary persistence for DistBlock — lets tools cache an expensive APSP
+// result and answer queries later without recomputing.
+//
+// Format: 8-byte magic "CAPSPDB1", int64 rows, int64 cols, then
+// rows*cols IEEE-754 doubles in row-major order (native endianness;
+// this is a cache format, not an interchange format).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "semiring/block.hpp"
+
+namespace capsp {
+
+void write_block(std::ostream& os, const DistBlock& block);
+DistBlock read_block(std::istream& is);
+
+void save_block(const std::string& path, const DistBlock& block);
+DistBlock load_block(const std::string& path);
+
+}  // namespace capsp

@@ -1,0 +1,25 @@
+// The tropical (min-plus) semiring scalar used by every APSP kernel.
+//
+// Distances are doubles; "no path yet" is IEEE +infinity, which makes the
+// semiring operations total: min(x, inf) = x and x + inf = inf without
+// branches.  The paper's ⊕ is `tropical_min`, ⊗ is `tropical_mul`.
+#pragma once
+
+#include <limits>
+
+namespace capsp {
+
+using Dist = double;
+
+/// ⊕-identity / ⊗-absorbing element ("no path").
+inline constexpr Dist kInf = std::numeric_limits<Dist>::infinity();
+
+/// ⊕: path choice.
+inline constexpr Dist tropical_min(Dist a, Dist b) { return a < b ? a : b; }
+
+/// ⊗: path concatenation.  inf + x = inf per IEEE semantics.
+inline constexpr Dist tropical_mul(Dist a, Dist b) { return a + b; }
+
+inline constexpr bool is_inf(Dist d) { return d == kInf; }
+
+}  // namespace capsp

@@ -1,0 +1,35 @@
+#include "semiring/graph_matrix.hpp"
+
+namespace capsp {
+
+DistBlock to_distance_matrix(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  return adjacency_block(graph, 0, n, 0, n);
+}
+
+DistBlock adjacency_block(const Graph& graph, Vertex row_begin,
+                          Vertex row_end, Vertex col_begin, Vertex col_end) {
+  return semiring_adjacency_block(graph, row_begin, row_end, col_begin,
+                                  col_end, kInf, 0);
+}
+
+DistBlock semiring_adjacency_block(const Graph& graph, Vertex row_begin,
+                                   Vertex row_end, Vertex col_begin,
+                                   Vertex col_end, Dist zero, Dist one) {
+  CAPSP_CHECK(0 <= row_begin && row_begin <= row_end &&
+              row_end <= graph.num_vertices());
+  CAPSP_CHECK(0 <= col_begin && col_begin <= col_end &&
+              col_end <= graph.num_vertices());
+  DistBlock block(row_end - row_begin, col_end - col_begin, zero);
+  for (Vertex v = row_begin; v < row_end; ++v) {
+    if (v >= col_begin && v < col_end)
+      block.at(v - row_begin, v - col_begin) = one;
+    for (const auto& nb : graph.neighbors(v)) {
+      if (nb.to >= col_begin && nb.to < col_end)
+        block.at(v - row_begin, nb.to - col_begin) = nb.weight;
+    }
+  }
+  return block;
+}
+
+}  // namespace capsp

@@ -1,0 +1,25 @@
+// Conversion between graphs and dense distance matrices (Sec. 3.2):
+// A(i,i) = 0, A(i,j) = w(e_ij) if the edge exists, +inf otherwise.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "semiring/block.hpp"
+
+namespace capsp {
+
+/// Full n×n adjacency/distance matrix of `graph`.
+DistBlock to_distance_matrix(const Graph& graph);
+
+/// The rectangular sub-matrix A[rows0..rows1) × [cols0..cols1) of the
+/// adjacency matrix, with the diagonal zeroed where it intersects.
+DistBlock adjacency_block(const Graph& graph, Vertex row_begin,
+                          Vertex row_end, Vertex col_begin, Vertex col_end);
+
+/// Semiring-generic adjacency window: `zero` (0̄) for non-edges, `one`
+/// (1̄) on the diagonal, edge weights elsewhere.  adjacency_block() is
+/// the (inf, 0) instantiation.
+DistBlock semiring_adjacency_block(const Graph& graph, Vertex row_begin,
+                                   Vertex row_end, Vertex col_begin,
+                                   Vertex col_end, Dist zero, Dist one);
+
+}  // namespace capsp

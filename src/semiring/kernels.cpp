@@ -1,0 +1,120 @@
+#include "semiring/kernels.hpp"
+
+#include <algorithm>
+
+namespace capsp {
+
+std::int64_t classical_fw(DistBlock& a) {
+  CAPSP_CHECK(a.rows() == a.cols());
+  const std::int64_t n = a.rows();
+  std::int64_t ops = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const Dist* rk = a.row(k);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Dist aik = a.at(i, k);
+      if (is_inf(aik)) continue;  // row i cannot improve through k
+      Dist* ri = a.row(i);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const Dist cand = aik + rk[j];
+        if (cand < ri[j]) ri[j] = cand;
+      }
+      ops += n;
+    }
+  }
+  return ops;
+}
+
+std::int64_t minplus_accumulate(DistBlock& c, const DistBlock& a,
+                                const DistBlock& b) {
+  CAPSP_CHECK_MSG(a.cols() == b.rows(),
+                  "inner dims " << a.cols() << " vs " << b.rows());
+  CAPSP_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), kk = a.cols(), nn = b.cols();
+  std::int64_t ops = 0;
+  // An all-infinite operand contributes nothing: the product is empty and
+  // the whole multiply is skipped (the sparsity saving of Sec. 4.1).  The
+  // O(k·n) scan is negligible against the O(m·k·n) multiply it can avoid.
+  if (m == 0 || nn == 0 || b.all_infinite()) return 0;
+  // i-k-j loop order: B and C rows stream contiguously; skip infinite a(i,k)
+  // so "empty" sub-structure costs nothing (the sparsity the paper exploits).
+  for (std::int64_t i = 0; i < m; ++i) {
+    Dist* ci = c.row(i);
+    const Dist* ai = a.row(i);
+    for (std::int64_t k = 0; k < kk; ++k) {
+      const Dist aik = ai[k];
+      if (is_inf(aik)) continue;
+      const Dist* bk = b.row(k);
+      for (std::int64_t j = 0; j < nn; ++j) {
+        const Dist cand = aik + bk[j];
+        if (cand < ci[j]) ci[j] = cand;
+      }
+      ops += nn;
+    }
+  }
+  return ops;
+}
+
+namespace {
+
+/// View stitching for blocked_fw: copy tile (bi, bj) out of / into `a`.
+DistBlock load_tile(const DistBlock& a, std::int64_t tile, std::int64_t bi,
+                    std::int64_t bj) {
+  const std::int64_t n = a.rows();
+  const std::int64_t r0 = bi * tile, c0 = bj * tile;
+  return a.sub_block(r0, c0, std::min(tile, n - r0), std::min(tile, n - c0));
+}
+
+void store_tile(DistBlock& a, std::int64_t tile, std::int64_t bi,
+                std::int64_t bj, const DistBlock& t) {
+  a.set_sub_block(bi * tile, bj * tile, t);
+}
+
+}  // namespace
+
+std::int64_t blocked_fw(DistBlock& a, std::int64_t tile) {
+  CAPSP_CHECK(a.rows() == a.cols());
+  CAPSP_CHECK(tile >= 1);
+  const std::int64_t n = a.rows();
+  const std::int64_t nb = (n + tile - 1) / tile;
+  std::int64_t ops = 0;
+  for (std::int64_t k = 0; k < nb; ++k) {
+    // Diagonal update.
+    DistBlock akk = load_tile(a, tile, k, k);
+    ops += classical_fw(akk);
+    store_tile(a, tile, k, k, akk);
+    // Panel updates.
+    for (std::int64_t i = 0; i < nb; ++i) {
+      if (i == k) continue;
+      DistBlock aik = load_tile(a, tile, i, k);
+      ops += minplus_accumulate(aik, aik, akk);
+      store_tile(a, tile, i, k, aik);
+      DistBlock aki = load_tile(a, tile, k, i);
+      ops += minplus_accumulate(aki, akk, aki);
+      store_tile(a, tile, k, i, aki);
+    }
+    // Min-plus outer product.
+    for (std::int64_t i = 0; i < nb; ++i) {
+      if (i == k) continue;
+      const DistBlock aik = load_tile(a, tile, i, k);
+      if (aik.all_infinite()) continue;  // empty block: skip the whole row
+      for (std::int64_t j = 0; j < nb; ++j) {
+        if (j == k) continue;
+        DistBlock aij = load_tile(a, tile, i, j);
+        const DistBlock akj = load_tile(a, tile, k, j);
+        ops += minplus_accumulate(aij, aik, akj);
+        store_tile(a, tile, i, j, aij);
+      }
+    }
+  }
+  return ops;
+}
+
+void elementwise_min(DistBlock& c, const DistBlock& other) {
+  CAPSP_CHECK(c.rows() == other.rows() && c.cols() == other.cols());
+  auto cd = c.data();
+  auto od = other.data();
+  for (std::size_t i = 0; i < cd.size(); ++i)
+    cd[i] = tropical_min(cd[i], od[i]);
+}
+
+}  // namespace capsp

@@ -1,0 +1,65 @@
+// Least-squares fitting helpers for the cost-scaling experiments.
+//
+// The paper's claims are asymptotic (L = O(log^2 p), B = O(n^2 log^2 p / p)
+// ...), so the benches and tests fit measured costs against candidate model
+// curves and report exponents / goodness of fit rather than absolute times.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace capsp {
+
+/// Result of a simple linear regression y ≈ slope*x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+};
+
+/// Ordinary least squares on (x, y) pairs.
+inline LinearFit linear_fit(std::span<const double> x,
+                            std::span<const double> y) {
+  CAPSP_CHECK(x.size() == y.size());
+  CAPSP_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  CAPSP_CHECK(denom != 0);
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+/// Fit y ≈ C * x^e on positive data by regressing in log-log space;
+/// returns the exponent e (slope) and log C (intercept).
+inline LinearFit power_law_fit(std::span<const double> x,
+                               std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CAPSP_CHECK(x[i] > 0 && y[i] > 0);
+    lx[i] = std::log2(x[i]);
+    ly[i] = std::log2(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace capsp

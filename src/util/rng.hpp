@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (graph generators, partitioner
+// tie-breaking) draws from this xoshiro256** implementation so that runs are
+// reproducible across platforms and standard-library versions.  std::mt19937
+// is avoided because the distributions layered on top of it
+// (std::uniform_int_distribution etc.) are implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace capsp {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Reset the stream to a deterministic function of `seed`.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift
+  /// rejection method.  bound must be positive.
+  std::uint64_t uniform(std::uint64_t bound) {
+    CAPSP_CHECK(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CAPSP_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span==0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? (*this)() : uniform(span);
+    return lo + static_cast<std::int64_t>(draw);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform_real() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    CAPSP_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Bernoulli trial with success probability `prob`.
+  bool bernoulli(double prob) { return uniform_real() < prob; }
+
+  /// Derive an independent child stream (for parallel substructures).
+  Rng split() { return Rng((*this)() ^ 0xa0761d6478bd642full); }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace capsp

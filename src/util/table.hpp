@@ -1,0 +1,69 @@
+// Plain-text table formatting for the experiment harnesses.
+//
+// The bench binaries reproduce the paper's tables as aligned text; this
+// helper keeps the column layout in one place so every harness prints the
+// same way.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace capsp {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells) {
+    CAPSP_CHECK_MSG(cells.size() == header_.size(),
+                    "row has " << cells.size() << " cells, header has "
+                               << header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with `prec` significant digits (helper for callers).
+  static std::string num(double v, int prec = 4) {
+    std::ostringstream os;
+    os << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  static std::string num(std::int64_t v) { return std::to_string(v); }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(int v) { return std::to_string(v); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << "  " << std::setw(static_cast<int>(width[c])) << row[c];
+      }
+      os << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace capsp

@@ -1,0 +1,92 @@
+// Tests for the binary distance-block cache format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "semiring/block_io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace capsp {
+namespace {
+
+DistBlock random_block(std::int64_t rows, std::int64_t cols,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  DistBlock block(rows, cols);
+  for (auto& v : block.data())
+    v = rng.bernoulli(0.1) ? kInf : rng.uniform_real(-100, 100);
+  return block;
+}
+
+TEST(BlockIo, StreamRoundTrip) {
+  const DistBlock block = random_block(9, 13, 1);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_block(stream, block);
+  EXPECT_EQ(read_block(stream), block);
+}
+
+TEST(BlockIo, RoundTripPreservesInfinities) {
+  DistBlock block(3, 3);
+  block.zero_diagonal();
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_block(stream, block);
+  const DistBlock loaded = read_block(stream);
+  EXPECT_TRUE(is_inf(loaded.at(0, 1)));
+  EXPECT_EQ(loaded.at(1, 1), 0);
+}
+
+TEST(BlockIo, EmptyBlockRoundTrip) {
+  const DistBlock block(0, 7);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_block(stream, block);
+  const DistBlock loaded = read_block(stream);
+  EXPECT_EQ(loaded.rows(), 0);
+  EXPECT_EQ(loaded.cols(), 7);
+}
+
+TEST(BlockIo, FileRoundTrip) {
+  const DistBlock block = random_block(20, 20, 2);
+  const std::string path = ::testing::TempDir() + "/capsp_block_io.dist";
+  save_block(path, block);
+  EXPECT_EQ(load_block(path), block);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIo, BadMagicRejected) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream.write("NOTCAPSP", 8);
+  EXPECT_THROW(read_block(stream), check_error);
+}
+
+TEST(BlockIo, TruncatedPayloadRejected) {
+  const DistBlock block = random_block(6, 6, 3);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_block(stream, block);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 16);  // chop two doubles
+  std::stringstream truncated(bytes,
+                              std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_block(truncated), check_error);
+}
+
+TEST(BlockIo, TrailingGarbageRejected) {
+  const DistBlock block = random_block(2, 2, 4);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_block(stream, block);
+  stream.write("junk", 4);
+  EXPECT_THROW(read_block(stream), check_error);
+}
+
+TEST(BlockIo, AbsurdDimensionsRejected) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream.write("CAPSPDB1", 8);
+  const std::int64_t rows = std::int64_t{1} << 40, cols = 2;
+  stream.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  stream.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  EXPECT_THROW(read_block(stream), check_error);
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,130 @@
+// Property/metamorphic tests for the (max, min) closure — the widest-path
+// analogues of the min-plus invariants in test_properties.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/closure.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+WeightOptions capacities() {
+  WeightOptions opts;
+  opts.min_weight = 1;
+  opts.max_weight = 30;
+  return opts;
+}
+
+class BottleneckProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Graph make_graph() const {
+    Rng rng(GetParam());
+    switch (GetParam() % 3) {
+      case 0: return make_grid2d(7, 7, rng, capacities());
+      case 1: return make_erdos_renyi(45, 4.0, rng, capacities());
+      default: return make_random_geometric(40, 0.28, rng, capacities());
+    }
+  }
+};
+
+TEST_P(BottleneckProperties, SymmetricWithInfDiagonal) {
+  const Graph graph = make_graph();
+  const DistBlock width = bottleneck_apsp(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+    EXPECT_TRUE(is_inf(width.at(u, u)));
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      EXPECT_EQ(width.at(u, v), width.at(v, u));
+  }
+}
+
+TEST_P(BottleneckProperties, MaxMinTriangleInequality) {
+  // width(u,v) >= min(width(u,w), width(w,v)): any u→w→v concatenation is
+  // itself a u→v path.
+  const Graph graph = make_graph();
+  const DistBlock width = bottleneck_apsp(graph);
+  Rng rng(GetParam() + 1);
+  const auto n = static_cast<std::uint64_t>(graph.num_vertices());
+  for (int trial = 0; trial < 1500; ++trial) {
+    const auto u = static_cast<Vertex>(rng.uniform(n));
+    const auto v = static_cast<Vertex>(rng.uniform(n));
+    const auto w = static_cast<Vertex>(rng.uniform(n));
+    EXPECT_GE(width.at(u, v),
+              std::min(width.at(u, w), width.at(w, v)) - 1e-12)
+        << u << "->" << w << "->" << v;
+  }
+}
+
+TEST_P(BottleneckProperties, WidthAtLeastDirectEdgeAndAtMostMaxEdge) {
+  const Graph graph = make_graph();
+  const DistBlock width = bottleneck_apsp(graph);
+  Weight max_edge = 0;
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (const auto& nb : graph.neighbors(u)) {
+      EXPECT_GE(width.at(u, nb.to), nb.weight);
+      max_edge = std::max(max_edge, nb.weight);
+    }
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      if (u != v && width.at(u, v) > 0) {
+        EXPECT_LE(width.at(u, v), max_edge);
+      }
+}
+
+TEST_P(BottleneckProperties, PositiveExactlyWithinComponents) {
+  const Graph graph = make_graph();
+  const DistBlock width = bottleneck_apsp(graph);
+  const auto label = connected_components(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(width.at(u, v) > 0,
+                label[static_cast<std::size_t>(u)] ==
+                    label[static_cast<std::size_t>(v)]);
+    }
+}
+
+TEST_P(BottleneckProperties, RaisingACapacityNeverNarrowsAnyPair) {
+  const Graph graph = make_graph();
+  const DistBlock before = bottleneck_apsp(graph);
+  // Double the capacity of one arbitrary edge.
+  Rng rng(GetParam() + 2);
+  GraphBuilder builder(graph.num_vertices());
+  bool boosted = false;
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (const auto& nb : graph.neighbors(u)) {
+      if (u >= nb.to) continue;
+      const bool boost = !boosted && rng.bernoulli(0.05);
+      builder.add_edge(u, nb.to, boost ? nb.weight * 2 : nb.weight);
+      boosted |= boost;
+    }
+  const DistBlock after = bottleneck_apsp(std::move(builder).build());
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      EXPECT_GE(after.at(u, v), before.at(u, v)) << u << "," << v;
+}
+
+TEST_P(BottleneckProperties, WidthValuesAreExistingEdgeWeights) {
+  // A bottleneck is attained on some edge, so every finite positive width
+  // must literally be one of the graph's edge weights.
+  const Graph graph = make_graph();
+  const DistBlock width = bottleneck_apsp(graph);
+  std::set<Weight> weights;
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (const auto& nb : graph.neighbors(u)) weights.insert(nb.weight);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      const Dist w = width.at(u, v);
+      if (u == v || w <= 0) continue;
+      EXPECT_TRUE(weights.count(w)) << "width " << w << " is not an edge";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BottleneckProperties,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace capsp

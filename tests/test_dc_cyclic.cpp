@@ -1,0 +1,115 @@
+// Tests for the block-cyclic 2D-DC-APSP: oracle correctness across
+// shapes, agreement with the block-layout DC, cost shape, and the
+// load-balance improvement that justifies the cyclic layout (Sec. 5.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/dc_cyclic.hpp"
+#include "baseline/reference.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+void expect_apsp_eq(const DistBlock& got, const DistBlock& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::int64_t r = 0; r < got.rows(); ++r)
+    for (std::int64_t c = 0; c < got.cols(); ++c) {
+      if (is_inf(want.at(r, c))) {
+        ASSERT_TRUE(is_inf(got.at(r, c))) << r << "," << c;
+      } else {
+        ASSERT_NEAR(got.at(r, c), want.at(r, c), 1e-9) << r << "," << c;
+      }
+    }
+}
+
+class DcCyclicParam
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DcCyclicParam, MatchesOracle) {
+  const auto [q, nb] = GetParam();
+  if (nb < q) GTEST_SKIP();
+  Rng rng(31);
+  const Graph graph = make_grid2d(7, 8, rng);
+  const DistributedApspResult got = run_dc_apsp_cyclic(graph, q, nb);
+  expect_apsp_eq(got.distances, reference_apsp(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsTimesBlocks, DcCyclicParam,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(2, 4, 8, 16)));
+
+TEST(DcCyclic, IrregularFamilies) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(40 + seed);
+    const Graph graph =
+        seed == 1   ? make_erdos_renyi(50, 4.0, rng)
+        : seed == 2 ? make_random_tree(48, rng)
+                    : make_random_geometric(44, 0.3, rng);
+    const DistributedApspResult got = run_dc_apsp_cyclic(graph, 2, 8);
+    expect_apsp_eq(got.distances, reference_apsp(graph));
+  }
+}
+
+TEST(DcCyclic, AgreesWithBlockLayoutDc) {
+  Rng rng(44);
+  const Graph graph = make_grid2d(9, 9, rng);
+  const DistributedApspResult cyclic = run_dc_apsp_cyclic(graph, 4, 8);
+  const DistributedApspResult block = run_dc_apsp(graph, 4);
+  EXPECT_EQ(cyclic.distances, block.distances);
+}
+
+TEST(DcCyclic, InvalidParametersRejected) {
+  Rng rng(45);
+  const Graph graph = make_grid2d(4, 4, rng);
+  EXPECT_THROW(run_dc_apsp_cyclic(graph, 2, 6), check_error);   // not 2^k
+  EXPECT_THROW(run_dc_apsp_cyclic(graph, 4, 2), check_error);   // nb < q
+  EXPECT_THROW(run_dc_apsp_cyclic(graph, 2, 32), check_error);  // nb > n
+}
+
+TEST(DcCyclic, BetterBalancedThanBlockLayoutDc) {
+  // The whole point of the layout (Sec. 5.1): the cyclic DC spreads the
+  // recursion's work over the full grid, so its per-rank op skew must be
+  // materially lower than the block-layout DC's.
+  Rng rng(46);
+  const Graph graph = make_grid2d(20, 20, rng);
+  auto skew = [](const std::vector<std::int64_t>& ops) {
+    const std::int64_t total =
+        std::accumulate(ops.begin(), ops.end(), std::int64_t{0});
+    const std::int64_t peak = *std::max_element(ops.begin(), ops.end());
+    return static_cast<double>(peak) * static_cast<double>(ops.size()) /
+           static_cast<double>(total);
+  };
+  const DistributedApspResult block = run_dc_apsp(graph, 4);
+  const DistributedApspResult cyclic = run_dc_apsp_cyclic(graph, 4, 16);
+  EXPECT_LT(skew(cyclic.ops_per_rank), skew(block.ops_per_rank));
+  // And every rank works in the cyclic version.
+  for (std::int64_t ops : cyclic.ops_per_rank) EXPECT_GT(ops, 0);
+}
+
+TEST(DcCyclic, LatencyGrowsWithBlockCount) {
+  // Finer cyclic blocking buys balance with more SUMMA steps — the
+  // latency/balance trade the paper describes.
+  Rng rng(47);
+  const Graph graph = make_grid2d(12, 12, rng);
+  const double l4 =
+      run_dc_apsp_cyclic(graph, 2, 4).costs.critical_latency;
+  const double l16 =
+      run_dc_apsp_cyclic(graph, 2, 16).costs.critical_latency;
+  EXPECT_GT(l16, 1.5 * l4);
+}
+
+TEST(DcCyclic, SingleRankDegenerate) {
+  Rng rng(48);
+  const Graph graph = make_grid2d(4, 5, rng);
+  const DistributedApspResult got = run_dc_apsp_cyclic(graph, 1, 4);
+  expect_apsp_eq(got.distances, reference_apsp(graph));
+  EXPECT_EQ(got.costs.total_messages, 0);
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,106 @@
+// Determinism is a library-wide invariant (docs/architecture.md): every
+// stochastic component must be a pure function of its seed.  This suite
+// sweeps the generator families and the whole pipeline twice and demands
+// bit-identical results, plus abort-path robustness under load.
+#include <gtest/gtest.h>
+
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+#include "machine/collectives.hpp"
+#include "partition/distributed_nd.hpp"
+
+namespace capsp {
+namespace {
+
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v), nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i].to, nb[i].to);
+      ASSERT_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+TEST(Determinism, EveryGeneratorFamily) {
+  using Maker = Graph (*)(Rng&);
+  const Maker makers[] = {
+      +[](Rng& rng) { return make_grid2d(9, 7, rng); },
+      +[](Rng& rng) { return make_grid3d(3, 4, 5, rng); },
+      +[](Rng& rng) { return make_path(40, rng); },
+      +[](Rng& rng) { return make_cycle(30, rng); },
+      +[](Rng& rng) { return make_complete(12, rng); },
+      +[](Rng& rng) { return make_random_tree(50, rng); },
+      +[](Rng& rng) { return make_erdos_renyi(60, 4.0, rng); },
+      +[](Rng& rng) { return make_random_geometric(50, 0.25, rng); },
+      +[](Rng& rng) { return make_rmat(64, 6.0, rng); },
+      +[](Rng& rng) { return make_ladder(30, rng); },
+      +[](Rng& rng) { return make_small_world(40, 2, 0.3, rng); },
+  };
+  for (std::size_t m = 0; m < std::size(makers); ++m) {
+    Rng a(77), b(77);
+    expect_identical(makers[m](a), makers[m](b));
+  }
+}
+
+TEST(Determinism, WholePipelineTwiceBitIdentical) {
+  Rng rng(9);
+  const Graph graph = make_random_geometric(70, 0.2, rng);
+  SparseApspOptions options;
+  options.height = 3;
+  const SparseApspResult a = run_sparse_apsp(graph, options);
+  const SparseApspResult b = run_sparse_apsp(graph, options);
+  EXPECT_EQ(a.distances, b.distances);
+  EXPECT_EQ(a.costs.critical_latency, b.costs.critical_latency);
+  EXPECT_EQ(a.costs.critical_bandwidth, b.costs.critical_bandwidth);
+  EXPECT_EQ(a.costs.total_messages, b.costs.total_messages);
+  EXPECT_EQ(a.ops_per_rank, b.ops_per_rank);
+  ASSERT_EQ(a.clock_after_level.size(), b.clock_after_level.size());
+  for (std::size_t l = 0; l < a.clock_after_level.size(); ++l) {
+    EXPECT_EQ(a.clock_after_level[l].latency,
+              b.clock_after_level[l].latency);
+    EXPECT_EQ(a.clock_after_level[l].words, b.clock_after_level[l].words);
+  }
+  // Per-phase volumes too.
+  EXPECT_EQ(a.costs.phase_total.size(), b.costs.phase_total.size());
+  for (const auto& [phase, volume] : a.costs.phase_total) {
+    ASSERT_TRUE(b.costs.phase_total.count(phase));
+    EXPECT_EQ(volume.messages, b.costs.phase_total.at(phase).messages);
+    EXPECT_EQ(volume.words, b.costs.phase_total.at(phase).words);
+  }
+}
+
+TEST(Determinism, DistributedNdTrafficBitIdentical) {
+  Rng rng(10);
+  const Graph graph = make_grid2d(12, 12, rng);
+  const auto a = distributed_nested_dissection(graph, 4, 3);
+  const auto b = distributed_nested_dissection(graph, 4, 3);
+  EXPECT_EQ(a.nd.perm, b.nd.perm);
+  EXPECT_EQ(a.costs.total_words, b.costs.total_words);
+  EXPECT_EQ(a.costs.critical_latency, b.costs.critical_latency);
+}
+
+TEST(Determinism, AbortUnderLoadStillUnwinds) {
+  // A rank failing in the middle of heavy collective traffic must not
+  // deadlock the machine, repeatedly.
+  for (int round = 0; round < 10; ++round) {
+    Machine machine(9);
+    EXPECT_THROW(
+        machine.run([&](Comm& comm) {
+          std::vector<RankId> group{0, 1, 2, 3, 4, 5, 6, 7, 8};
+          DistBlock block(8, 8, 1.0);
+          for (int i = 0; i < 5; ++i)
+            group_broadcast(comm, group, 0, block, i);
+          if (comm.rank() == 4) throw check_error("injected failure");
+          for (int i = 5; i < 10; ++i)
+            group_broadcast(comm, group, 0, block, i);
+        }),
+        check_error);
+  }
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,144 @@
+// Tests for the distributed nested dissection: structural equivalence
+// with the sequential ND contract, correctness of APSP on its output,
+// determinism, and the Sec. 5.4.4 cost claim (ND communication is
+// subsumed by the APSP communication).
+#include <gtest/gtest.h>
+
+#include "baseline/reference.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+#include "partition/distributed_nd.hpp"
+#include "semiring/graph_matrix.hpp"
+
+namespace capsp {
+namespace {
+
+void expect_valid_dissection(const Graph& graph, const Dissection& nd) {
+  const Vertex n = graph.num_vertices();
+  std::vector<bool> hit(static_cast<std::size_t>(n), false);
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex image = nd.perm[static_cast<std::size_t>(v)];
+    ASSERT_GE(image, 0);
+    ASSERT_LT(image, n);
+    EXPECT_FALSE(hit[static_cast<std::size_t>(image)]);
+    hit[static_cast<std::size_t>(image)] = true;
+    EXPECT_EQ(nd.iperm[static_cast<std::size_t>(image)], v);
+  }
+  std::vector<int> covered(static_cast<std::size_t>(n), 0);
+  for (Snode s = 1; s <= nd.tree.num_supernodes(); ++s)
+    for (Vertex v = nd.range_of(s).begin; v < nd.range_of(s).end; ++v)
+      ++covered[static_cast<std::size_t>(v)];
+  for (Vertex v = 0; v < n; ++v)
+    EXPECT_EQ(covered[static_cast<std::size_t>(v)], 1);
+}
+
+class DistributedNdParam
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistributedNdParam, ProducesValidDissection) {
+  const auto [side, height] = GetParam();
+  Rng rng(1);
+  const Graph graph = make_grid2d(side, side, rng);
+  const DistributedNdResult result =
+      distributed_nested_dissection(graph, height, 7);
+  EXPECT_EQ(result.num_ranks, 1 << (height - 1));
+  expect_valid_dissection(graph, result.nd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DistributedNdParam,
+    ::testing::Combine(::testing::Values(6, 10), ::testing::Values(1, 2, 3,
+                                                                   4)));
+
+TEST(DistributedNd, CousinBlocksEmptyLikeSequentialNd) {
+  Rng rng(2);
+  const Graph graph = make_grid2d(10, 10, rng);
+  const DistributedNdResult result =
+      distributed_nested_dissection(graph, 3, 11);
+  const Graph reordered = apply_dissection(graph, result.nd);
+  const DistBlock a = to_distance_matrix(reordered);
+  const EliminationTree& tree = result.nd.tree;
+  for (Snode i = 1; i <= tree.num_supernodes(); ++i)
+    for (Snode j = 1; j <= tree.num_supernodes(); ++j) {
+      if (!tree.is_cousin(i, j)) continue;
+      for (Vertex r = result.nd.range_of(i).begin;
+           r < result.nd.range_of(i).end; ++r)
+        for (Vertex c = result.nd.range_of(j).begin;
+             c < result.nd.range_of(j).end; ++c)
+          ASSERT_TRUE(is_inf(a.at(r, c)))
+              << "cousin block (" << i << "," << j << ") not empty";
+    }
+}
+
+TEST(DistributedNd, ApspOnDistributedNdMatchesOracle) {
+  Rng rng(3);
+  const Graph graph = make_grid2d(9, 9, rng);
+  const DistributedNdResult nd_result =
+      distributed_nested_dissection(graph, 3, 5);
+  const SparseApspResult apsp = run_sparse_apsp(graph, nd_result.nd);
+  const DistBlock want = reference_apsp(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      ASSERT_NEAR(apsp.distances.at(u, v), want.at(u, v), 1e-9);
+}
+
+TEST(DistributedNd, DeterministicGivenSeed) {
+  Rng rng(4);
+  const Graph graph = make_erdos_renyi(80, 4.0, rng);
+  const auto a = distributed_nested_dissection(graph, 3, 9);
+  const auto b = distributed_nested_dissection(graph, 3, 9);
+  EXPECT_EQ(a.nd.perm, b.nd.perm);
+  EXPECT_EQ(a.costs.total_words, b.costs.total_words);
+}
+
+TEST(DistributedNd, SeparatorQualityComparableToSequential) {
+  Rng rng(5);
+  const Graph graph = make_grid2d(16, 16, rng);
+  Rng seq_rng(6);
+  const Dissection seq = nested_dissection(graph, 3, seq_rng);
+  const auto dist = distributed_nested_dissection(graph, 3, 6);
+  // Same machinery underneath; tolerate 2x (the vertex distribution to
+  // teams differs).
+  EXPECT_LE(dist.nd.top_separator_size(),
+            2 * seq.top_separator_size() + 4);
+}
+
+TEST(DistributedNd, CommunicationSubsumedByApsp) {
+  // Sec. 5.4.4: the ND communication must be small against the APSP's.
+  Rng rng(7);
+  const Graph graph = make_grid2d(20, 20, rng);
+  const auto nd_result = distributed_nested_dissection(graph, 4, 8);
+  SparseApspOptions options;
+  options.collect_distances = false;
+  const auto apsp = run_sparse_apsp(graph, nd_result.nd, options);
+  EXPECT_LT(nd_result.costs.critical_bandwidth,
+            apsp.costs.critical_bandwidth);
+  EXPECT_LT(nd_result.costs.total_words, apsp.costs.total_words);
+}
+
+TEST(DistributedNd, HeightOneNeedsNoCommunication) {
+  Rng rng(8);
+  const Graph graph = make_path(20, rng);
+  const auto result = distributed_nested_dissection(graph, 1, 1);
+  expect_valid_dissection(graph, result.nd);
+  EXPECT_EQ(result.costs.total_messages, 0);
+  EXPECT_EQ(result.nd.range_of(1).size(), 20);
+}
+
+TEST(DistributedNd, DisconnectedAndTinyGraphs) {
+  Rng rng(9);
+  GraphBuilder builder(12);
+  for (Vertex i = 0; i < 5; ++i) {
+    builder.add_edge(i, i + 1, 1);
+    builder.add_edge(6 + i, 7 + i, 1);
+  }
+  const Graph graph = std::move(builder).build();
+  const auto result = distributed_nested_dissection(graph, 3, 10);
+  expect_valid_dissection(graph, result.nd);
+  const Graph tiny = make_path(3, rng);
+  const auto tiny_result = distributed_nested_dissection(tiny, 3, 10);
+  expect_valid_dissection(tiny, tiny_result.nd);
+}
+
+}  // namespace
+}  // namespace capsp

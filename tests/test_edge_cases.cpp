@@ -1,0 +1,144 @@
+// Edge-case hardening across the public API: empty and degenerate
+// graphs, extreme machine shapes, the height recommender, and the
+// largest machine the benches use (p = 961) end-to-end with result
+// collection.
+#include <gtest/gtest.h>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/fw2d.hpp"
+#include "baseline/reference.hpp"
+#include "core/path_oracle.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+TEST(EdgeCases, EmptyGraphAllAlgorithms) {
+  const Graph empty = std::move(GraphBuilder(0)).build();
+  SparseApspOptions options;
+  options.height = 2;
+  const SparseApspResult sparse = run_sparse_apsp(empty, options);
+  EXPECT_EQ(sparse.distances.rows(), 0);
+  const DistributedApspResult dc = run_dc_apsp(empty, 2);
+  EXPECT_EQ(dc.distances.rows(), 0);
+  EXPECT_EQ(reference_apsp(empty).rows(), 0);
+}
+
+TEST(EdgeCases, TwoVertexGraph) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 3.5);
+  const Graph graph = std::move(builder).build();
+  SparseApspOptions options;
+  options.height = 3;  // far more supernodes than vertices
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  EXPECT_EQ(result.distances.at(0, 1), 3.5);
+  EXPECT_EQ(result.distances.at(1, 0), 3.5);
+  EXPECT_EQ(result.distances.at(0, 0), 0);
+}
+
+TEST(EdgeCases, EdgelessGraphEverythingUnreachable) {
+  const Graph graph = std::move(GraphBuilder(10)).build();
+  SparseApspOptions options;
+  options.height = 2;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  for (Vertex u = 0; u < 10; ++u)
+    for (Vertex v = 0; v < 10; ++v)
+      EXPECT_EQ(is_inf(result.distances.at(u, v)), u != v);
+}
+
+TEST(EdgeCases, AllEdgesSameWeight) {
+  Rng rng(1);
+  const Graph graph = make_grid2d(7, 7, rng, WeightOptions::unit());
+  SparseApspOptions options;
+  options.height = 2;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  // Distances equal hop counts == Manhattan distance on the grid.
+  EXPECT_EQ(result.distances.at(0, 48), 12);  // corner to corner: 6+6
+  EXPECT_EQ(result.distances.at(0, 6), 6);
+}
+
+TEST(EdgeCases, VeryLargeWeights) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 1e300);
+  builder.add_edge(1, 2, 1e300);
+  const Graph graph = std::move(builder).build();
+  SparseApspOptions options;
+  options.height = 2;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  EXPECT_EQ(result.distances.at(0, 2), 2e300);
+  EXPECT_FALSE(is_inf(result.distances.at(0, 2)));
+}
+
+TEST(EdgeCases, Height5FullPipelineWithCollection) {
+  // p = 961 simulated ranks, with result collection and oracle check.
+  Rng rng(2);
+  const Graph graph = make_grid2d(12, 12, rng);
+  SparseApspOptions options;
+  options.height = 5;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  EXPECT_EQ(result.num_ranks, 961);
+  const DistBlock want = reference_apsp(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      ASSERT_NEAR(result.distances.at(u, v), want.at(u, v), 1e-9);
+  // The oracle must be able to route over the result.
+  const PathOracle oracle(graph, result.distances);
+  EXPECT_FALSE(oracle.shortest_path(0, 143).empty());
+}
+
+TEST(EdgeCases, Fw2dSingleRank) {
+  Rng rng(3);
+  const Graph graph = make_grid2d(4, 5, rng);
+  const DistributedApspResult result = run_fw2d(graph, 1, 4);
+  const DistBlock want = reference_apsp(graph);
+  EXPECT_EQ(result.distances, want);
+  EXPECT_EQ(result.costs.total_messages, 0);  // one rank: all local
+}
+
+TEST(EdgeCases, DcSingleRank) {
+  Rng rng(4);
+  const Graph graph = make_grid2d(4, 4, rng);
+  const DistributedApspResult result = run_dc_apsp(graph, 1);
+  EXPECT_EQ(result.distances, reference_apsp(graph));
+}
+
+TEST(RecommendHeight, RespectsRankBudget) {
+  Rng rng(5);
+  const Graph big = make_grid2d(40, 40, rng);
+  EXPECT_EQ(recommend_height(big, 9), 2);     // (2^2-1)^2 = 9 fits
+  EXPECT_EQ(recommend_height(big, 8), 1);     // 9 > 8
+  EXPECT_EQ(recommend_height(big, 49), 3);
+  EXPECT_EQ(recommend_height(big, 960), 4);     // 961 > 960
+  EXPECT_EQ(recommend_height(big, 100000), 6);  // capped by the simulator's
+                                                // 4096-rank machine limit
+}
+
+TEST(RecommendHeight, SmallGraphsStayShallow) {
+  Rng rng(6);
+  const Graph tiny = make_path(10, rng);
+  EXPECT_LE(recommend_height(tiny), 2);
+  const Graph empty = std::move(GraphBuilder(0)).build();
+  EXPECT_EQ(recommend_height(empty), 1);
+}
+
+TEST(RecommendHeight, RecommendedHeightActuallyWorks) {
+  Rng rng(7);
+  const Graph graph = make_random_geometric(120, 0.18, rng);
+  const int h = recommend_height(graph, 225);
+  SparseApspOptions options;
+  options.height = h;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  const DistBlock want = reference_apsp(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      if (is_inf(want.at(u, v))) {
+        ASSERT_TRUE(is_inf(result.distances.at(u, v)));
+      } else {
+        ASSERT_NEAR(result.distances.at(u, v), want.at(u, v), 1e-9);
+      }
+    }
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,324 @@
+// Unit tests for the graph module: CSR invariants, builder semantics,
+// generators (shape, connectivity, determinism), traversal utilities, I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+TEST(GraphBuilder, BasicEdges) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 2.0);
+  builder.add_edge(1, 2, 3.0);
+  const Graph graph = std::move(builder).build();
+  EXPECT_EQ(graph.num_vertices(), 4);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(graph.has_edge(0, 2));
+  EXPECT_EQ(graph.edge_weight(1, 2), 3.0);
+  EXPECT_EQ(graph.degree(1), 2);
+  EXPECT_EQ(graph.degree(3), 0);
+}
+
+TEST(GraphBuilder, DuplicateKeepsMinimumWeight) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 5.0);
+  builder.add_edge(1, 0, 2.0);
+  builder.add_edge(0, 1, 9.0);
+  const Graph graph = std::move(builder).build();
+  EXPECT_EQ(graph.num_edges(), 1);
+  EXPECT_EQ(graph.edge_weight(0, 1), 2.0);
+}
+
+TEST(GraphBuilder, SelfLoopsDropped) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 0, 1.0);
+  builder.add_edge(0, 1, 1.0);
+  const Graph graph = std::move(builder).build();
+  EXPECT_EQ(graph.num_edges(), 1);
+}
+
+TEST(GraphBuilder, OutOfRangeRejected) {
+  GraphBuilder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2, 1.0), check_error);
+  EXPECT_THROW(builder.add_edge(-1, 0, 1.0), check_error);
+}
+
+TEST(Graph, NeighborsSortedAndComplete) {
+  GraphBuilder builder(5);
+  builder.add_edge(2, 4, 1);
+  builder.add_edge(2, 0, 1);
+  builder.add_edge(2, 3, 1);
+  const Graph graph = std::move(builder).build();
+  const auto nbrs = graph.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].to, 0);
+  EXPECT_EQ(nbrs[1].to, 3);
+  EXPECT_EQ(nbrs[2].to, 4);
+}
+
+TEST(Graph, MinEdgeWeight) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 4.0);
+  builder.add_edge(1, 2, -2.5);
+  const Graph graph = std::move(builder).build();
+  EXPECT_EQ(graph.min_edge_weight(), -2.5);
+}
+
+TEST(Graph, MinEdgeWeightEmptyGraphIsZero) {
+  const Graph graph = std::move(GraphBuilder(3)).build();
+  EXPECT_EQ(graph.min_edge_weight(), 0);
+}
+
+TEST(Graph, PermutedPreservesEdges) {
+  Rng rng(1);
+  const Graph graph = make_grid2d(3, 3, rng);
+  // Reverse permutation.
+  std::vector<Vertex> perm(9);
+  for (Vertex v = 0; v < 9; ++v) perm[static_cast<std::size_t>(v)] = 8 - v;
+  const Graph permuted = graph.permuted(perm);
+  EXPECT_EQ(permuted.num_edges(), graph.num_edges());
+  for (Vertex v = 0; v < 9; ++v)
+    for (const auto& nb : graph.neighbors(v))
+      EXPECT_EQ(permuted.edge_weight(8 - v, 8 - nb.to), nb.weight);
+}
+
+TEST(Graph, PermutedRejectsNonPermutation) {
+  Rng rng(1);
+  const Graph graph = make_path(3, rng);
+  const std::vector<Vertex> bad{0, 0, 1};
+  EXPECT_THROW(graph.permuted(bad), check_error);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdgesOnly) {
+  Rng rng(1);
+  const Graph graph = make_grid2d(3, 3, rng, WeightOptions::unit());
+  const std::vector<Vertex> subset{0, 1, 3, 4};  // top-left 2x2 of the grid
+  const Graph sub = graph.induced_subgraph(subset);
+  EXPECT_EQ(sub.num_vertices(), 4);
+  EXPECT_EQ(sub.num_edges(), 4);  // the 2x2 square
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(2, 3));
+  EXPECT_FALSE(sub.has_edge(0, 3));
+}
+
+TEST(Generators, Grid2dShape) {
+  Rng rng(2);
+  const Graph graph = make_grid2d(4, 6, rng);
+  EXPECT_EQ(graph.num_vertices(), 24);
+  // Grid edges: r*(c-1) + (r-1)*c.
+  EXPECT_EQ(graph.num_edges(), 4 * 5 + 3 * 6);
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST(Generators, Grid2dDegreesBounded) {
+  Rng rng(2);
+  const Graph graph = make_grid2d(5, 5, rng);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_GE(graph.degree(v), 2);
+    EXPECT_LE(graph.degree(v), 4);
+  }
+}
+
+TEST(Generators, Grid3dShape) {
+  Rng rng(2);
+  const Graph graph = make_grid3d(3, 4, 5, rng);
+  EXPECT_EQ(graph.num_vertices(), 60);
+  EXPECT_EQ(graph.num_edges(), 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST(Generators, PathAndCycle) {
+  Rng rng(3);
+  const Graph path = make_path(10, rng);
+  EXPECT_EQ(path.num_edges(), 9);
+  EXPECT_TRUE(is_connected(path));
+  const Graph cycle = make_cycle(10, rng);
+  EXPECT_EQ(cycle.num_edges(), 10);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(cycle.degree(v), 2);
+}
+
+TEST(Generators, CompleteGraph) {
+  Rng rng(3);
+  const Graph graph = make_complete(7, rng);
+  EXPECT_EQ(graph.num_edges(), 21);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(graph.degree(v), 6);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(4);
+  const Graph graph = make_random_tree(50, rng);
+  EXPECT_EQ(graph.num_edges(), 49);
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST(Generators, ErdosRenyiConnectedWithTargetDensity) {
+  Rng rng(5);
+  const Graph graph = make_erdos_renyi(200, 6.0, rng);
+  EXPECT_TRUE(is_connected(graph));
+  const double avg_degree = 2.0 * graph.num_edges() / graph.num_vertices();
+  EXPECT_GT(avg_degree, 5.0);
+  EXPECT_LT(avg_degree, 9.0);  // spanning tree + duplicate collapse slack
+}
+
+TEST(Generators, RandomGeometricConnected) {
+  Rng rng(6);
+  const Graph graph = make_random_geometric(150, 0.12, rng);
+  EXPECT_EQ(graph.num_vertices(), 150);
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST(Generators, RmatConnectedAndSkewed) {
+  Rng rng(7);
+  const Graph graph = make_rmat(256, 8.0, rng);
+  EXPECT_TRUE(is_connected(graph));
+  // Power-law-ish: the maximum degree should far exceed the average.
+  std::int64_t max_degree = 0;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    max_degree = std::max<std::int64_t>(max_degree, graph.degree(v));
+  const double avg = 2.0 * graph.num_edges() / graph.num_vertices();
+  EXPECT_GT(static_cast<double>(max_degree), 3 * avg);
+}
+
+TEST(Generators, LadderShape) {
+  Rng rng(8);
+  const Graph graph = make_ladder(20, rng);
+  EXPECT_EQ(graph.num_vertices(), 20);
+  EXPECT_EQ(graph.num_edges(), 9 + 9 + 10);
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST(Generators, SmallWorldConnected) {
+  Rng rng(9);
+  const Graph graph = make_small_world(100, 3, 0.1, rng);
+  EXPECT_TRUE(is_connected(graph));
+  EXPECT_GE(graph.num_edges(), 290);  // ~nk edges + spanning tree overlap
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const Graph ga = make_erdos_renyi(100, 4.0, a);
+  const Graph gb = make_erdos_renyi(100, 4.0, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (Vertex v = 0; v < ga.num_vertices(); ++v) {
+    const auto na = ga.neighbors(v), nb = gb.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+TEST(Generators, WeightOptionsRespected) {
+  Rng rng(10);
+  WeightOptions opts;
+  opts.min_weight = 3;
+  opts.max_weight = 9;
+  opts.integer = true;
+  const Graph graph = make_grid2d(6, 6, rng, opts);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    for (const auto& nb : graph.neighbors(v)) {
+      EXPECT_GE(nb.weight, 3);
+      EXPECT_LE(nb.weight, 9);
+      EXPECT_EQ(nb.weight, std::round(nb.weight));
+    }
+}
+
+TEST(Generators, NegativeFractionProducesNegativeEdges) {
+  Rng rng(11);
+  WeightOptions opts;
+  opts.negative_fraction = 0.5;
+  const Graph graph = make_path(200, rng, opts);
+  int negative = 0;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    for (const auto& nb : graph.neighbors(v)) negative += (nb.weight < 0);
+  negative /= 2;
+  EXPECT_GT(negative, 60);
+  EXPECT_LT(negative, 140);
+}
+
+TEST(Generators, PaperFigure1Structure) {
+  const Graph graph = make_paper_figure1();
+  EXPECT_EQ(graph.num_vertices(), 7);
+  // No edge crosses between the two triangles except through vertex 6.
+  for (Vertex u : {0, 1, 2})
+    for (Vertex v : {3, 4, 5}) EXPECT_FALSE(graph.has_edge(u, v));
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST(Algorithms, ConnectedComponents) {
+  GraphBuilder builder(6);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(2, 3, 1);
+  builder.add_edge(3, 4, 1);
+  const Graph graph = std::move(builder).build();
+  const auto label = connected_components(graph);
+  EXPECT_EQ(count_components(graph), 3);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[3]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[2]);
+  EXPECT_NE(label[2], label[5]);
+  EXPECT_FALSE(is_connected(graph));
+}
+
+TEST(Algorithms, BfsLevels) {
+  Rng rng(12);
+  const Graph graph = make_path(5, rng);
+  const auto level = bfs_levels(graph, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(level[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Algorithms, BfsUnreachableIsMinusOne) {
+  const Graph graph = std::move(GraphBuilder(3)).build();
+  const auto level = bfs_levels(graph, 0);
+  EXPECT_EQ(level[0], 0);
+  EXPECT_EQ(level[1], -1);
+  EXPECT_EQ(level[2], -1);
+}
+
+TEST(Algorithms, PseudoPeripheralOnPathIsEndpoint) {
+  Rng rng(13);
+  const Graph graph = make_path(31, rng);
+  const Vertex v = pseudo_peripheral_vertex(graph, 15);
+  EXPECT_TRUE(v == 0 || v == 30) << v;
+}
+
+TEST(Io, RoundTripPreservesGraph) {
+  Rng rng(14);
+  const Graph graph = make_erdos_renyi(40, 3.0, rng);
+  std::stringstream stream;
+  write_edge_list(stream, graph);
+  const Graph loaded = read_edge_list(stream);
+  ASSERT_EQ(loaded.num_vertices(), graph.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), graph.num_edges());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v)
+    for (const auto& nb : graph.neighbors(v))
+      EXPECT_EQ(loaded.edge_weight(v, nb.to), nb.weight);
+}
+
+TEST(Io, CommentsAndBlankLinesSkipped) {
+  std::stringstream stream("# a comment\n\n2 1\n# another\n0 1 2.5\n");
+  const Graph graph = read_edge_list(stream);
+  EXPECT_EQ(graph.num_vertices(), 2);
+  EXPECT_EQ(graph.edge_weight(0, 1), 2.5);
+}
+
+TEST(Io, TruncatedFileRejected) {
+  std::stringstream stream("3 2\n0 1 1.0\n");
+  EXPECT_THROW(read_edge_list(stream), check_error);
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,169 @@
+// Tests for the DIMACS (.gr) and METIS (.graph) interchange formats:
+// round trips, hand-written fixtures, malformed-input rejection, and the
+// extension-based auto loader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (Vertex v = 0; v < a.num_vertices(); ++v)
+    for (const auto& nb : a.neighbors(v))
+      EXPECT_EQ(b.edge_weight(v, nb.to), nb.weight) << v << "-" << nb.to;
+}
+
+TEST(Dimacs, RoundTrip) {
+  Rng rng(1);
+  const Graph graph = make_erdos_renyi(50, 4.0, rng);
+  std::stringstream stream;
+  write_dimacs(stream, graph);
+  expect_same_graph(read_dimacs(stream), graph);
+}
+
+TEST(Dimacs, HandWrittenFixture) {
+  std::stringstream stream(
+      "c 9th DIMACS style\n"
+      "p sp 4 4\n"
+      "a 1 2 7\n"
+      "a 2 1 7\n"
+      "c a comment between arcs\n"
+      "a 3 4 2.5\n"
+      "a 4 3 2.5\n");
+  const Graph graph = read_dimacs(stream);
+  EXPECT_EQ(graph.num_vertices(), 4);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.edge_weight(0, 1), 7);
+  EXPECT_EQ(graph.edge_weight(2, 3), 2.5);
+}
+
+TEST(Dimacs, AsymmetricArcsKeepMinimum) {
+  // Directed files with asymmetric weights collapse to the undirected
+  // minimum (consistent with the builder's min-plus dedup semantics).
+  std::stringstream stream("p sp 2 2\na 1 2 5\na 2 1 3\n");
+  const Graph graph = read_dimacs(stream);
+  EXPECT_EQ(graph.edge_weight(0, 1), 3);
+}
+
+TEST(Dimacs, MalformedInputsRejected) {
+  {
+    std::stringstream s("a 1 2 3\n");  // arc before problem line
+    EXPECT_THROW(read_dimacs(s), check_error);
+  }
+  {
+    std::stringstream s("p sp 2 2\na 1 2 3\n");  // promised 2, got 1
+    EXPECT_THROW(read_dimacs(s), check_error);
+  }
+  {
+    std::stringstream s("p sp 2 1\na 1 5 3\n");  // endpoint out of range
+    EXPECT_THROW(read_dimacs(s), check_error);
+  }
+  {
+    std::stringstream s("p tsp 2 1\na 1 2 3\n");  // wrong problem kind
+    EXPECT_THROW(read_dimacs(s), check_error);
+  }
+  {
+    std::stringstream s("p sp 2 1\nx 1 2 3\n");  // unknown line kind
+    EXPECT_THROW(read_dimacs(s), check_error);
+  }
+}
+
+TEST(Metis, RoundTrip) {
+  Rng rng(2);
+  const Graph graph = make_grid2d(6, 7, rng);
+  std::stringstream stream;
+  write_metis(stream, graph);
+  expect_same_graph(read_metis(stream), graph);
+}
+
+TEST(Metis, UnweightedFixture) {
+  // The METIS manual's style: 5 vertices, 6 edges, no weights.
+  std::stringstream stream(
+      "% tiny example\n"
+      "5 6\n"
+      "2 3\n"
+      "1 3 4\n"
+      "1 2 5\n"
+      "2 5\n"
+      "3 4\n");
+  const Graph graph = read_metis(stream);
+  EXPECT_EQ(graph.num_vertices(), 5);
+  EXPECT_EQ(graph.num_edges(), 6);
+  EXPECT_EQ(graph.edge_weight(0, 1), 1);  // unit weights
+  EXPECT_TRUE(graph.has_edge(3, 4));
+  EXPECT_FALSE(graph.has_edge(0, 4));
+}
+
+TEST(Metis, WeightedFixture) {
+  std::stringstream stream(
+      "3 2 001\n"
+      "2 4\n"
+      "1 4 3 9\n"
+      "2 9\n");
+  const Graph graph = read_metis(stream);
+  EXPECT_EQ(graph.edge_weight(0, 1), 4);
+  EXPECT_EQ(graph.edge_weight(1, 2), 9);
+}
+
+TEST(Metis, MalformedInputsRejected) {
+  {
+    std::stringstream s("3 2 011\n2 1\n1 1 3 1\n2 1\n");  // vertex weights
+    EXPECT_THROW(read_metis(s), check_error);
+  }
+  {
+    std::stringstream s("3 5\n2\n1 3\n2\n");  // wrong edge count
+    EXPECT_THROW(read_metis(s), check_error);
+  }
+  {
+    std::stringstream s("3 2\n2\n1 9\n\n");  // neighbor out of range
+    EXPECT_THROW(read_metis(s), check_error);
+  }
+  {
+    std::stringstream s("3 2\n2\n1 3\n");  // missing vertex line
+    EXPECT_THROW(read_metis(s), check_error);
+  }
+}
+
+TEST(AutoLoader, DispatchesOnExtension) {
+  Rng rng(3);
+  const Graph graph = make_cycle(12, rng);
+  const std::string base = ::testing::TempDir() + "/capsp_io_test";
+
+  {
+    std::ofstream os(base + ".gr");
+    write_dimacs(os, graph);
+  }
+  expect_same_graph(load_graph_auto(base + ".gr"), graph);
+
+  {
+    std::ofstream os(base + ".graph");
+    write_metis(os, graph);
+  }
+  expect_same_graph(load_graph_auto(base + ".graph"), graph);
+
+  {
+    std::ofstream os(base + ".txt");
+    write_edge_list(os, graph);
+  }
+  expect_same_graph(load_graph_auto(base + ".txt"), graph);
+
+  std::remove((base + ".gr").c_str());
+  std::remove((base + ".graph").c_str());
+  std::remove((base + ".txt").c_str());
+}
+
+TEST(AutoLoader, MissingFileRejected) {
+  EXPECT_THROW(load_graph_auto("/nonexistent/path/x.gr"), check_error);
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,165 @@
+// Tests for PathOracle: next-hop correctness, full path reconstruction
+// (validated edge-by-edge against the distance matrix), analytics, and
+// inconsistency detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/reference.hpp"
+#include "core/path_oracle.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+PathOracle make_oracle(const Graph& graph) {
+  return PathOracle(graph, reference_apsp(graph));
+}
+
+void expect_valid_path(const PathOracle& oracle, Vertex u, Vertex v) {
+  const auto path = oracle.shortest_path(u, v);
+  if (!oracle.reachable(u, v)) {
+    EXPECT_TRUE(path.empty());
+    return;
+  }
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), u);
+  EXPECT_EQ(path.back(), v);
+  // Consecutive vertices are edges; total weight equals the distance.
+  EXPECT_NEAR(oracle.path_weight(path), oracle.distance(u, v), 1e-9);
+  // No vertex repeats (shortest paths are simple for positive weights).
+  std::set<Vertex> seen(path.begin(), path.end());
+  EXPECT_EQ(seen.size(), path.size());
+}
+
+TEST(PathOracle, TinyTriangleNextHop) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(1, 2, 1);
+  builder.add_edge(0, 2, 5);
+  const Graph graph = std::move(builder).build();
+  const PathOracle oracle = make_oracle(graph);
+  EXPECT_EQ(oracle.next_hop(0, 2), 1);  // via the cheap two-hop route
+  EXPECT_EQ(oracle.next_hop(1, 2), 2);
+  EXPECT_EQ(oracle.next_hop(2, 2), 2);
+  EXPECT_EQ(oracle.shortest_path(0, 2), (std::vector<Vertex>{0, 1, 2}));
+}
+
+TEST(PathOracle, SelfPathIsSingleton) {
+  Rng rng(1);
+  const Graph graph = make_path(5, rng);
+  const PathOracle oracle = make_oracle(graph);
+  EXPECT_EQ(oracle.shortest_path(3, 3), (std::vector<Vertex>{3}));
+  EXPECT_EQ(oracle.distance(3, 3), 0);
+}
+
+TEST(PathOracle, UnreachableGivesEmptyPathAndMinusOne) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(2, 3, 1);
+  const Graph graph = std::move(builder).build();
+  const PathOracle oracle = make_oracle(graph);
+  EXPECT_FALSE(oracle.reachable(0, 2));
+  EXPECT_EQ(oracle.next_hop(0, 2), -1);
+  EXPECT_TRUE(oracle.shortest_path(0, 2).empty());
+}
+
+class PathOracleFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathOracleFamilies, AllPairsPathsAreValid) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  Graph graph;
+  switch (GetParam()) {
+    case 0: graph = make_grid2d(6, 6, rng); break;
+    case 1: graph = make_erdos_renyi(40, 4.0, rng); break;
+    case 2: graph = make_random_tree(45, rng); break;
+    case 3: {
+      WeightOptions opts;
+      opts.integer = false;
+      opts.min_weight = 0.1;
+      opts.max_weight = 3.0;
+      graph = make_random_geometric(40, 0.3, rng, opts);
+      break;
+    }
+    default: graph = make_cycle(30, rng); break;
+  }
+  const PathOracle oracle = make_oracle(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      expect_valid_path(oracle, u, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PathOracleFamilies,
+                         ::testing::Range(0, 5));
+
+TEST(PathOracle, WorksOnDistributedApspOutput) {
+  // The whole point: routing queries over the sparse algorithm's result
+  // with no extra infrastructure.
+  Rng rng(7);
+  const Graph graph = make_grid2d(8, 8, rng);
+  SparseApspOptions options;
+  options.height = 3;
+  const SparseApspResult result = run_sparse_apsp(graph, options);
+  const PathOracle oracle(graph, result.distances);
+  for (Vertex v : {7, 42, 63}) expect_valid_path(oracle, 0, v);
+}
+
+TEST(PathOracle, AnalyticsOnAPath) {
+  Rng rng(2);
+  const Graph graph = make_path(5, rng, WeightOptions::unit());
+  const PathOracle oracle = make_oracle(graph);
+  EXPECT_EQ(oracle.diameter(), 4);
+  EXPECT_EQ(oracle.radius(), 2);  // middle vertex
+  EXPECT_EQ(oracle.eccentricity(0), 4);
+  EXPECT_EQ(oracle.eccentricity(2), 2);
+  // Mean distance over ordered pairs of a unit path P5: 2*(sum of all
+  // pairwise hop counts) / 20 = 2*20/20 = 2.
+  EXPECT_NEAR(oracle.mean_distance(), 2.0, 1e-12);
+}
+
+TEST(PathOracle, ClosenessPeaksAtTheCenter) {
+  Rng rng(3);
+  const Graph graph = make_path(7, rng, WeightOptions::unit());
+  const PathOracle oracle = make_oracle(graph);
+  const auto closeness = oracle.closeness_centrality();
+  for (Vertex v = 0; v < 7; ++v)
+    if (v != 3) {
+      EXPECT_GT(closeness[3], closeness[static_cast<std::size_t>(v)]);
+    }
+}
+
+TEST(PathOracle, DisconnectedAnalytics) {
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1, 2);
+  // vertices 2,3,4 isolated
+  builder.add_edge(3, 4, 1);
+  const Graph graph = std::move(builder).build();
+  const PathOracle oracle = make_oracle(graph);
+  EXPECT_EQ(oracle.diameter(), 2);     // within components only
+  EXPECT_EQ(oracle.eccentricity(2), 0);
+  const auto closeness = oracle.closeness_centrality();
+  EXPECT_EQ(closeness[2], 0.0);
+  EXPECT_GT(closeness[3], 0.0);
+}
+
+TEST(PathOracle, RejectsWrongShapeOrDiagonal) {
+  Rng rng(4);
+  const Graph graph = make_path(4, rng);
+  EXPECT_THROW(PathOracle(graph, DistBlock(3, 3)), check_error);
+  DistBlock bad = reference_apsp(graph);
+  bad.at(1, 1) = 5;
+  EXPECT_THROW(PathOracle(graph, bad), check_error);
+}
+
+TEST(PathOracle, DetectsInconsistentMatrix) {
+  Rng rng(5);
+  const Graph graph = make_path(4, rng, WeightOptions::unit());
+  DistBlock lying = reference_apsp(graph);
+  lying.at(0, 3) = 1;  // claims a shortcut that no edge supports
+  const PathOracle oracle(graph, std::move(lying));
+  EXPECT_THROW(oracle.next_hop(0, 3), check_error);
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,194 @@
+// Property-based and metamorphic tests: mathematical invariants every
+// APSP result must satisfy, plus relations between the outputs of
+// *transformed* inputs.  These catch whole classes of bugs that direct
+// oracle comparison can miss (e.g. an oracle and an implementation that
+// are wrong in the same way).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/reference.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+DistBlock sparse_apsp_of(const Graph& graph, int height = 3,
+                         std::uint64_t seed = 17) {
+  SparseApspOptions options;
+  options.height = height;
+  options.seed = seed;
+  return run_sparse_apsp(graph, options).distances;
+}
+
+class ApspProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Graph make_graph() const {
+    Rng rng(GetParam());
+    switch (GetParam() % 4) {
+      case 0: return make_erdos_renyi(48, 3.5, rng);
+      case 1: return make_grid2d(7, 7, rng);
+      case 2: return make_random_geometric(50, 0.25, rng);
+      default: return make_random_tree(52, rng);
+    }
+  }
+};
+
+TEST_P(ApspProperties, DiagonalIsZeroAndMatrixSymmetric) {
+  const Graph graph = make_graph();
+  const DistBlock d = sparse_apsp_of(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+    EXPECT_EQ(d.at(u, u), 0);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      EXPECT_EQ(d.at(u, v), d.at(v, u)) << u << "," << v;
+  }
+}
+
+TEST_P(ApspProperties, TriangleInequality) {
+  const Graph graph = make_graph();
+  const DistBlock d = sparse_apsp_of(graph);
+  const Vertex n = graph.num_vertices();
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto u = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto w = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (is_inf(d.at(u, w)) || is_inf(d.at(w, v))) continue;
+    EXPECT_LE(d.at(u, v), d.at(u, w) + d.at(w, v) + 1e-9)
+        << u << "->" << w << "->" << v;
+  }
+}
+
+TEST_P(ApspProperties, DistanceNeverBelowDirectEdge) {
+  const Graph graph = make_graph();
+  const DistBlock d = sparse_apsp_of(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (const auto& nb : graph.neighbors(u))
+      EXPECT_LE(d.at(u, nb.to), nb.weight + 1e-12);
+}
+
+TEST_P(ApspProperties, FiniteExactlyWithinComponents) {
+  const Graph graph = make_graph();
+  const DistBlock d = sparse_apsp_of(graph);
+  const auto label = connected_components(graph);
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v)
+      EXPECT_EQ(!is_inf(d.at(u, v)),
+                label[static_cast<std::size_t>(u)] ==
+                    label[static_cast<std::size_t>(v)])
+          << u << "," << v;
+}
+
+TEST_P(ApspProperties, AddingAnEdgeNeverIncreasesDistances) {
+  const Graph graph = make_graph();
+  const DistBlock before = sparse_apsp_of(graph);
+  // Rebuild with one extra random edge.
+  Rng rng(GetParam() + 2);
+  const Vertex n = graph.num_vertices();
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (const auto& nb : graph.neighbors(u))
+      if (u < nb.to) builder.add_edge(u, nb.to, nb.weight);
+  const auto a = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+  const auto b = static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+  if (a == b) return;
+  builder.add_edge(a, b, 1.0);
+  const Graph augmented = std::move(builder).build();
+  const DistBlock after = sparse_apsp_of(augmented);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = 0; v < n; ++v)
+      EXPECT_LE(after.at(u, v), before.at(u, v) + 1e-9) << u << "," << v;
+}
+
+TEST_P(ApspProperties, ScalingWeightsScalesDistances) {
+  const Graph graph = make_graph();
+  const DistBlock base = sparse_apsp_of(graph);
+  constexpr double kScale = 3.0;
+  GraphBuilder builder(graph.num_vertices());
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (const auto& nb : graph.neighbors(u))
+      if (u < nb.to) builder.add_edge(u, nb.to, nb.weight * kScale);
+  const DistBlock scaled = sparse_apsp_of(std::move(builder).build());
+  for (Vertex u = 0; u < graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      if (is_inf(base.at(u, v))) {
+        EXPECT_TRUE(is_inf(scaled.at(u, v)));
+      } else {
+        EXPECT_NEAR(scaled.at(u, v), kScale * base.at(u, v), 1e-6);
+      }
+    }
+}
+
+TEST_P(ApspProperties, VertexRelabelingCommutes) {
+  // APSP(permute(G)) == permute(APSP(G)).
+  const Graph graph = make_graph();
+  const Vertex n = graph.num_vertices();
+  Rng rng(GetParam() + 3);
+  std::vector<Vertex> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.uniform(i)]);
+  const DistBlock base = sparse_apsp_of(graph);
+  const DistBlock relabeled = sparse_apsp_of(graph.permuted(perm));
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = 0; v < n; ++v) {
+      const Dist want = base.at(u, v);
+      const Dist got = relabeled.at(perm[static_cast<std::size_t>(u)],
+                                    perm[static_cast<std::size_t>(v)]);
+      if (is_inf(want)) {
+        EXPECT_TRUE(is_inf(got));
+      } else {
+        EXPECT_NEAR(got, want, 1e-9);
+      }
+    }
+}
+
+TEST_P(ApspProperties, MachineSizeDoesNotChangeTheAnswer) {
+  const Graph graph = make_graph();
+  const DistBlock h2 = sparse_apsp_of(graph, 2);
+  const DistBlock h3 = sparse_apsp_of(graph, 3);
+  const DistBlock h4 = sparse_apsp_of(graph, 4);
+  EXPECT_EQ(h2, h3);
+  EXPECT_EQ(h3, h4);
+}
+
+TEST_P(ApspProperties, PartitionerSeedDoesNotChangeTheAnswer) {
+  const Graph graph = make_graph();
+  const DistBlock a = sparse_apsp_of(graph, 3, 1);
+  const DistBlock b = sparse_apsp_of(graph, 3, 999);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspProperties,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(Fuzz, ManyRandomGraphsAgainstOracle) {
+  // Wider randomized sweep with small graphs: shapes, densities, weights.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(7000 + seed);
+    const auto n = static_cast<Vertex>(4 + rng.uniform(28));
+    const double degree = rng.uniform_real(1.0, 5.0);
+    WeightOptions opts;
+    opts.integer = rng.bernoulli(0.5);
+    opts.min_weight = rng.bernoulli(0.3) ? 0.0 : 1.0;
+    opts.max_weight = opts.min_weight + rng.uniform_real(1.0, 9.0);
+    const Graph graph = make_erdos_renyi(n, degree, rng, opts);
+    const DistBlock want = reference_apsp(graph);
+    const DistBlock got = sparse_apsp_of(graph, 2, seed);
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v = 0; v < n; ++v) {
+        if (is_inf(want.at(u, v))) {
+          ASSERT_TRUE(is_inf(got.at(u, v))) << "seed " << seed;
+        } else {
+          ASSERT_NEAR(got.at(u, v), want.at(u, v), 1e-9)
+              << "seed " << seed << " (" << u << "," << v << ")";
+        }
+      }
+  }
+}
+
+}  // namespace
+}  // namespace capsp

@@ -1,0 +1,267 @@
+// Tests of the region decomposition and the computing-unit → processor
+// map: these verify the paper's Lemmas 5.1-5.4 and Corollary 5.5
+// *exhaustively* for every tree height the benches use (h <= 7, i.e.
+// p <= 16129), so the one-to-one mapping claim is machine-checked, not
+// just trusted.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/regions.hpp"
+#include "graph/generators.hpp"
+#include "partition/nested_dissection.hpp"
+
+namespace capsp {
+namespace {
+
+class RegionsParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionsParam, RegionsAreDisjointAndCoverRl) {
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    const auto r1 = region_r1(tree, l);
+    const auto r2 = region_r2(tree, l);
+    const auto r3 = region_r3(tree, l);
+    const auto r4 = region_r4(tree, l);
+    std::set<BlockId> all;
+    auto insert_disjoint = [&](const std::vector<BlockId>& region,
+                               const char* name) {
+      for (const auto& block : region)
+        EXPECT_TRUE(all.insert(block).second)
+            << name << " overlaps at (" << block.i << "," << block.j
+            << "), l=" << l;
+    };
+    insert_disjoint(r1, "R1");
+    insert_disjoint(r2, "R2");
+    insert_disjoint(r3, "R3");
+    insert_disjoint(r4, "R4");
+
+    // Union must equal R_l = ∪_k related(k) × related(k).
+    std::set<BlockId> expected;
+    for (Snode k : tree.level_set(l)) {
+      std::vector<Snode> members{k};
+      for (Snode d : tree.descendants(k)) members.push_back(d);
+      for (Snode a : tree.ancestors(k)) members.push_back(a);
+      for (Snode i : members)
+        for (Snode j : members) expected.insert({i, j});
+    }
+    EXPECT_EQ(all, expected) << "level " << l;
+  }
+}
+
+TEST_P(RegionsParam, R1IsTheLevelDiagonal) {
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    const auto r1 = region_r1(tree, l);
+    EXPECT_EQ(r1.size(), static_cast<std::size_t>(tree.level_size(l)));
+    for (const auto& block : r1) {
+      EXPECT_EQ(block.i, block.j);
+      EXPECT_EQ(tree.level_of(block.i), l);
+    }
+  }
+}
+
+TEST_P(RegionsParam, R2BlocksArePanels) {
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    for (const auto& block : region_r2(tree, l)) {
+      const bool row_panel = tree.level_of(block.i) == l &&
+                             tree.related(block.i, block.j) &&
+                             block.i != block.j;
+      const bool col_panel = tree.level_of(block.j) == l &&
+                             tree.related(block.i, block.j) &&
+                             block.i != block.j;
+      EXPECT_TRUE(row_panel || col_panel)
+          << "(" << block.i << "," << block.j << ") l=" << l;
+    }
+  }
+}
+
+TEST_P(RegionsParam, R3BlocksHaveExactlyOnePivot) {
+  // |(A(i)∪D(i)) ∩ (A(j)∪D(j)) ∩ Q_l| = 1 for every R³ block (Sec. 5.2.1).
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    for (const auto& block : region_r3(tree, l)) {
+      int count = 0;
+      Snode pivot = 0;
+      for (Snode k : tree.level_set(l)) {
+        const bool i_rel = (block.i == k) || tree.related(block.i, k);
+        const bool j_rel = (block.j == k) || tree.related(block.j, k);
+        const bool has_desc_side = tree.is_descendant(block.i, k) ||
+                                   tree.is_descendant(block.j, k);
+        if (i_rel && j_rel && has_desc_side) {
+          ++count;
+          pivot = k;
+        }
+      }
+      EXPECT_EQ(count, 1) << "(" << block.i << "," << block.j << ")";
+      EXPECT_EQ(r3_pivot(tree, l, block.i, block.j), pivot);
+    }
+  }
+}
+
+TEST_P(RegionsParam, R4BlocksAreAncestorPairs) {
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    for (const auto& block : region_r4(tree, l)) {
+      EXPECT_GT(tree.level_of(block.i), l);
+      EXPECT_GT(tree.level_of(block.j), l);
+      EXPECT_TRUE(tree.related(block.i, block.j));
+      // Both are ancestors of a common level-l pivot.
+      bool found = false;
+      for (Snode k : tree.level_set(l))
+        found |= (tree.is_ancestor(block.i, k) &&
+                  tree.is_ancestor(block.j, k));
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(RegionsParam, Lemma52UnitCountIsOofP) {
+  // The number of computing units never exceeds p = N² (Lemma 5.2), so a
+  // one-to-one unit→processor mapping exists.
+  const EliminationTree tree(GetParam());
+  const std::int64_t p = static_cast<std::int64_t>(tree.num_supernodes()) *
+                         tree.num_supernodes();
+  for (int l = 1; l <= tree.height(); ++l) {
+    const auto units = r4_units(tree, l);
+    EXPECT_EQ(static_cast<std::int64_t>(units.size()), r4_unit_count(tree, l));
+    EXPECT_LE(static_cast<std::int64_t>(units.size()), p);
+  }
+}
+
+TEST_P(RegionsParam, Lemma53SubsetUnitCounts) {
+  // Each subset R⁴(a,c) needs exactly 2^(h-l) units, less than √p.
+  const EliminationTree tree(GetParam());
+  const int h = tree.height();
+  for (int l = 1; l <= h; ++l) {
+    std::map<std::pair<int, int>, int> per_subset;
+    for (const auto& unit : r4_units(tree, l))
+      ++per_subset[{tree.level_of(unit.i), tree.level_of(unit.j)}];
+    for (const auto& [subset, count] : per_subset) {
+      EXPECT_EQ(count, 1 << (h - l))
+          << "subset (" << subset.first << "," << subset.second << ")";
+      EXPECT_LE(count, tree.num_supernodes());
+    }
+    // Subset count < √p (proof of Lemma 5.3).
+    EXPECT_LT(per_subset.size(),
+              static_cast<std::size_t>(tree.num_supernodes()) + 1);
+  }
+}
+
+TEST_P(RegionsParam, Lemma54RowMapIsInjectiveAndInRange) {
+  const EliminationTree tree(GetParam());
+  const int h = tree.height();
+  for (int l = 1; l < h; ++l) {
+    std::set<Snode> rows;
+    for (int a = l + 1; a <= h; ++a) {
+      for (int c = a; c <= h; ++c) {
+        const Snode f = r4_worker_row(tree, l, a, c);
+        EXPECT_GE(f, 1);
+        EXPECT_LE(f, tree.num_supernodes());
+        EXPECT_TRUE(rows.insert(f).second)
+            << "row collision f=" << f << " at (a=" << a << ",c=" << c
+            << "), l=" << l;
+      }
+    }
+  }
+}
+
+TEST_P(RegionsParam, Corollary55MappingIsOneToOne) {
+  // The full unit→processor map is injective: Lemma 5.1's precondition.
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    std::set<std::pair<Snode, Snode>> workers;
+    for (const auto& unit : r4_units(tree, l)) {
+      EXPECT_TRUE(workers.insert({unit.f, unit.g}).second)
+          << "two units share worker P(" << unit.f << "," << unit.g
+          << ") at level " << l;
+    }
+  }
+}
+
+TEST_P(RegionsParam, UnitsMatchBlockPivotStructure) {
+  // Per block (i,j): units are exactly {(i,j,k) : k ∈ Q_l ∩ D(i)}, and the
+  // unit count is 2^(a-l) (the paper's per-block census).
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    std::map<BlockId, std::set<Snode>> pivots_by_block;
+    for (const auto& unit : r4_units(tree, l)) {
+      EXPECT_EQ(tree.ancestor_at_level(unit.k, tree.level_of(unit.i)),
+                unit.i);
+      EXPECT_EQ(tree.ancestor_at_level(unit.k, tree.level_of(unit.j)),
+                unit.j);
+      EXPECT_LE(tree.level_of(unit.i), tree.level_of(unit.j));
+      pivots_by_block[{unit.i, unit.j}].insert(unit.k);
+    }
+    for (const auto& [block, pivots] : pivots_by_block) {
+      const int a = tree.level_of(block.i);
+      EXPECT_EQ(pivots.size(), static_cast<std::size_t>(1) << (a - l));
+      const auto [begin, end] = tree.descendant_range_at_level(block.i, l);
+      for (Snode k = begin; k < end; ++k) EXPECT_TRUE(pivots.count(k));
+    }
+  }
+}
+
+TEST_P(RegionsParam, WorkerColumnIsIndexWithinLevel) {
+  const EliminationTree tree(GetParam());
+  for (int l = 1; l <= tree.height(); ++l) {
+    Snode expected = 1;
+    for (Snode k : tree.level_set(l))
+      EXPECT_EQ(r4_worker_col(tree, l, k), expected++);
+  }
+}
+
+TEST_P(RegionsParam, TopLevelHasNoR4) {
+  const EliminationTree tree(GetParam());
+  EXPECT_TRUE(region_r4(tree, tree.height()).empty());
+  EXPECT_TRUE(r4_units(tree, tree.height()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, RegionsParam, ::testing::Range(1, 8));
+
+TEST(Regions, Figure3bLevel2Example) {
+  // The paper's Fig. 3b: 4-level tree, l = 2.  Q_2 = {9..12}.
+  const EliminationTree tree(4);
+  const auto r1 = region_r1(tree, 2);
+  EXPECT_EQ(r1.size(), 4u);
+  // R² of pivot 9 contains panels to its leaves 1,2 and ancestors 13,15.
+  const auto r2 = region_r2(tree, 2);
+  auto has = [&](const std::vector<BlockId>& region, Snode i, Snode j) {
+    return std::find(region.begin(), region.end(), BlockId{i, j}) !=
+           region.end();
+  };
+  EXPECT_TRUE(has(r2, 1, 9));
+  EXPECT_TRUE(has(r2, 13, 9));
+  EXPECT_TRUE(has(r2, 15, 9));
+  EXPECT_TRUE(has(r2, 9, 2));
+  EXPECT_FALSE(has(r2, 3, 9));  // leaf 3 is a cousin of 9
+  // R³ contains leaf×ancestor and leaf×leaf pairs under the same pivot.
+  const auto r3 = region_r3(tree, 2);
+  EXPECT_TRUE(has(r3, 1, 2));
+  EXPECT_TRUE(has(r3, 1, 13));
+  EXPECT_TRUE(has(r3, 15, 2));
+  EXPECT_FALSE(has(r3, 1, 3));   // cousins: not updated at l=2
+  EXPECT_FALSE(has(r3, 13, 15)); // ancestor pair: that's R4
+  // R⁴ = ancestor pairs {13,14,15} that share level-2 descendants.
+  const auto r4 = region_r4(tree, 2);
+  EXPECT_TRUE(has(r4, 13, 13));
+  EXPECT_TRUE(has(r4, 13, 15));
+  EXPECT_TRUE(has(r4, 15, 13));
+  EXPECT_TRUE(has(r4, 15, 15));
+  EXPECT_FALSE(has(r4, 13, 14));  // 13 and 14 share no common descendant
+}
+
+TEST(Regions, UnitCountFormulaMatchesLemma52Closed) {
+  // Closed form: Σ_{a=l+1}^{h} (h-a+1)·2^(h-l) for the computed half.
+  const EliminationTree tree(6);
+  for (int l = 1; l <= 6; ++l) {
+    std::int64_t closed = 0;
+    for (int a = l + 1; a <= 6; ++a) closed += (6 - a + 1) * (1 << (6 - l));
+    EXPECT_EQ(r4_unit_count(tree, l), closed);
+  }
+}
+
+}  // namespace
+}  // namespace capsp

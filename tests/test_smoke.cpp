@@ -1,0 +1,71 @@
+// End-to-end smoke tests: the full pre-process → schedule → distributed
+// run pipeline against the sequential oracle on small graphs.
+#include <gtest/gtest.h>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/fw2d.hpp"
+#include "baseline/reference.hpp"
+#include "core/sparse_apsp.hpp"
+#include "core/superfw.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+void expect_matrix_eq(const DistBlock& got, const DistBlock& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::int64_t r = 0; r < got.rows(); ++r)
+    for (std::int64_t c = 0; c < got.cols(); ++c)
+      ASSERT_NEAR(got.at(r, c), want.at(r, c), 1e-9)
+          << "mismatch at (" << r << "," << c << ")";
+}
+
+TEST(Smoke, SuperFwMatchesOracleOnGrid) {
+  Rng rng(7);
+  const Graph graph = make_grid2d(6, 6, rng);
+  const DistBlock want = reference_apsp(graph);
+  Rng nd_rng(3);
+  const Dissection nd = nested_dissection(graph, 3, nd_rng);
+  const SuperFwResult got = superfw_original_order(graph, nd);
+  expect_matrix_eq(got.distances, want);
+}
+
+TEST(Smoke, SparseApspMatchesOracleOnGrid) {
+  Rng rng(7);
+  const Graph graph = make_grid2d(6, 6, rng);
+  const DistBlock want = reference_apsp(graph);
+  SparseApspOptions options;
+  options.height = 2;  // p = 9
+  const SparseApspResult got = run_sparse_apsp(graph, options);
+  expect_matrix_eq(got.distances, want);
+}
+
+TEST(Smoke, SparseApspHeight3OnGrid) {
+  Rng rng(11);
+  const Graph graph = make_grid2d(8, 8, rng);
+  const DistBlock want = reference_apsp(graph);
+  SparseApspOptions options;
+  options.height = 3;  // p = 49
+  const SparseApspResult got = run_sparse_apsp(graph, options);
+  expect_matrix_eq(got.distances, want);
+}
+
+TEST(Smoke, DcApspMatchesOracle) {
+  Rng rng(5);
+  const Graph graph = make_grid2d(5, 7, rng);
+  const DistBlock want = reference_apsp(graph);
+  const DistributedApspResult got = run_dc_apsp(graph, 2);
+  expect_matrix_eq(got.distances, want);
+}
+
+TEST(Smoke, Fw2dMatchesOracle) {
+  Rng rng(5);
+  const Graph graph = make_grid2d(5, 7, rng);
+  const DistBlock want = reference_apsp(graph);
+  const DistributedApspResult got = run_fw2d(graph, 2, 4);
+  expect_matrix_eq(got.distances, want);
+}
+
+}  // namespace
+}  // namespace capsp

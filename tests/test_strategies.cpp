@@ -1,0 +1,142 @@
+// Tests for the scheduling-strategy and collective-algorithm ablation
+// knobs: every combination must compute the same (correct) distances,
+// and the measured costs must be ordered the way Sec. 5.2.2 argues —
+// that ordering is the paper's core contribution, so it is asserted
+// here, not just benchmarked.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+#include "machine/collectives.hpp"
+
+namespace capsp {
+namespace {
+
+void expect_apsp_eq(const DistBlock& got, const DistBlock& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::int64_t r = 0; r < got.rows(); ++r)
+    for (std::int64_t c = 0; c < got.cols(); ++c) {
+      if (is_inf(want.at(r, c))) {
+        ASSERT_TRUE(is_inf(got.at(r, c))) << r << "," << c;
+      } else {
+        ASSERT_NEAR(got.at(r, c), want.at(r, c), 1e-9) << r << "," << c;
+      }
+    }
+}
+
+using StrategyCase = std::tuple<R4Strategy, CollectiveAlgorithm, int>;
+
+class StrategyParam : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(StrategyParam, AllCombinationsMatchOracle) {
+  const auto [strategy, collectives, height] = GetParam();
+  Rng rng(5);
+  const Graph graph = make_grid2d(9, 9, rng);
+  const DistBlock want = reference_apsp(graph);
+  SparseApspOptions options;
+  options.height = height;
+  options.r4_strategy = strategy;
+  options.collectives = collectives;
+  const SparseApspResult got = run_sparse_apsp(graph, options);
+  expect_apsp_eq(got.distances, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StrategyParam,
+    ::testing::Combine(
+        ::testing::Values(R4Strategy::kSequential,
+                          R4Strategy::kSharedWorkers, R4Strategy::kOneToOne),
+        ::testing::Values(CollectiveAlgorithm::kBinomialTree,
+                          CollectiveAlgorithm::kPipelined),
+        ::testing::Values(2, 3, 4)));
+
+TEST(Strategies, AllAgreeOnIrregularGraph) {
+  Rng rng(6);
+  const Graph graph = make_random_geometric(70, 0.2, rng);
+  const DistBlock want = reference_apsp(graph);
+  for (R4Strategy strategy :
+       {R4Strategy::kSequential, R4Strategy::kSharedWorkers,
+        R4Strategy::kOneToOne}) {
+    SparseApspOptions options;
+    options.height = 3;
+    options.r4_strategy = strategy;
+    const SparseApspResult got = run_sparse_apsp(graph, options);
+    expect_apsp_eq(got.distances, want);
+  }
+}
+
+SparseApspResult run_with(const Graph& graph, int height,
+                          R4Strategy strategy,
+                          CollectiveAlgorithm collectives =
+                              CollectiveAlgorithm::kBinomialTree) {
+  SparseApspOptions options;
+  options.height = height;
+  options.r4_strategy = strategy;
+  options.collectives = collectives;
+  options.collect_distances = false;
+  return run_sparse_apsp(graph, options);
+}
+
+TEST(Strategies, OneToOneWinsAtScale) {
+  // The heart of the paper: at scale, the one-to-one mapping beats both
+  // alternatives in latency.  (At h <= 4 the strawmen are competitive —
+  // the asymptotic separation needs 2^(h-1) to dominate the extra
+  // broadcast/reduce hops; the ablation bench shows the full picture.)
+  Rng rng(7);
+  const Graph graph = make_grid2d(16, 16, rng);
+  const int h = 5;  // p = 961
+  const double l_one =
+      run_with(graph, h, R4Strategy::kOneToOne).costs.critical_latency;
+  const double l_shared =
+      run_with(graph, h, R4Strategy::kSharedWorkers).costs.critical_latency;
+  const double l_seq =
+      run_with(graph, h, R4Strategy::kSequential).costs.critical_latency;
+  EXPECT_LT(l_one, l_shared);
+  EXPECT_LT(l_one, l_seq);
+}
+
+TEST(Strategies, SequentialGapWidensWithP) {
+  // Sequential R⁴ pays Θ(2^(h-l)) messages at level l ⇒ Θ(√p) total; its
+  // latency gap to one-to-one must widen as p grows (it may even be
+  // negative at tiny p, where fan-out overhead dominates).
+  Rng rng(8);
+  const Graph graph = make_grid2d(16, 16, rng);
+  const double gap_small =
+      run_with(graph, 3, R4Strategy::kSequential).costs.critical_latency -
+      run_with(graph, 3, R4Strategy::kOneToOne).costs.critical_latency;
+  const double gap_large =
+      run_with(graph, 5, R4Strategy::kSequential).costs.critical_latency -
+      run_with(graph, 5, R4Strategy::kOneToOne).costs.critical_latency;
+  EXPECT_GT(gap_large, gap_small + 5);
+  EXPECT_GT(gap_large, 0);
+}
+
+TEST(Strategies, PipelinedCollectivesTradeLatencyForBandwidth) {
+  // Pipelined collectives: strictly more messages at every size; fewer
+  // words once groups are large enough for the ring to amortize (h = 5
+  // here — at h <= 4 the groups are too small to matter either way).
+  Rng rng(9);
+  const Graph graph = make_grid2d(20, 20, rng);
+  for (int h : {3, 5}) {
+    const auto tree_run = run_with(graph, h, R4Strategy::kOneToOne,
+                                   CollectiveAlgorithm::kBinomialTree);
+    const auto pipe_run = run_with(graph, h, R4Strategy::kOneToOne,
+                                   CollectiveAlgorithm::kPipelined);
+    EXPECT_GT(pipe_run.costs.critical_latency,
+              2 * tree_run.costs.critical_latency)
+        << "h=" << h;
+    if (h == 5) {
+      EXPECT_LT(pipe_run.costs.critical_bandwidth,
+                tree_run.costs.critical_bandwidth);
+    } else {
+      // Small groups: bandwidth within 10% either way.
+      EXPECT_NEAR(pipe_run.costs.critical_bandwidth /
+                      tree_run.costs.critical_bandwidth,
+                  1.0, 0.1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capsp

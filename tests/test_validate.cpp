@@ -1,0 +1,156 @@
+// Tests for the APSP certificate checker: genuine results pass across
+// algorithms and families; every class of corruption is caught with a
+// descriptive message; tolerance behaves for real weights.
+#include <gtest/gtest.h>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/reference.hpp"
+#include "core/sparse_apsp.hpp"
+#include "core/validate.hpp"
+#include "graph/generators.hpp"
+
+namespace capsp {
+namespace {
+
+TEST(Validate, AcceptsOracleResults) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    const Graph graph =
+        seed % 2 ? make_grid2d(7, 7, rng)
+                 : make_erdos_renyi(45, 3.0, rng);
+    const ValidationReport report =
+        validate_apsp(graph, reference_apsp(graph));
+    EXPECT_TRUE(report.ok) << report.problem;
+  }
+}
+
+TEST(Validate, AcceptsEveryDistributedSolver) {
+  Rng rng(5);
+  const Graph graph = make_random_geometric(48, 0.25, rng);
+  SparseApspOptions options;
+  options.height = 3;
+  EXPECT_TRUE(validate_apsp(graph, run_sparse_apsp(graph, options).distances));
+  EXPECT_TRUE(validate_apsp(graph, run_dc_apsp(graph, 2).distances));
+}
+
+TEST(Validate, AcceptsDisconnectedGraphs) {
+  GraphBuilder builder(10);
+  for (Vertex i = 0; i < 4; ++i) builder.add_edge(i, i + 1, 2);
+  builder.add_edge(6, 7, 1);
+  const Graph graph = std::move(builder).build();
+  EXPECT_TRUE(validate_apsp(graph, reference_apsp(graph)));
+}
+
+TEST(Validate, CatchesWrongShape) {
+  Rng rng(6);
+  const Graph graph = make_path(5, rng);
+  const ValidationReport report = validate_apsp(graph, DistBlock(4, 4));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("shape"), std::string::npos);
+}
+
+TEST(Validate, CatchesNonzeroDiagonal) {
+  Rng rng(7);
+  const Graph graph = make_path(5, rng);
+  DistBlock dist = reference_apsp(graph);
+  dist.at(2, 2) = 1;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("diagonal"), std::string::npos);
+}
+
+TEST(Validate, CatchesAsymmetry) {
+  Rng rng(8);
+  const Graph graph = make_cycle(6, rng);
+  DistBlock dist = reference_apsp(graph);
+  dist.at(1, 4) += 1;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("asymmetry"), std::string::npos);
+}
+
+TEST(Validate, CatchesTooLargeEntry) {
+  // Symmetric inflation of one entry: relaxation consistency fires.
+  Rng rng(9);
+  const Graph graph = make_grid2d(4, 4, rng, WeightOptions::unit());
+  DistBlock dist = reference_apsp(graph);
+  dist.at(0, 15) += 1;
+  dist.at(15, 0) += 1;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("relaxable"), std::string::npos);
+}
+
+TEST(Validate, CatchesTooSmallEntry) {
+  // Symmetric deflation: the value is no longer attained by any edge.
+  Rng rng(10);
+  WeightOptions opts;
+  opts.min_weight = 5;
+  opts.max_weight = 9;
+  const Graph graph = make_grid2d(4, 4, rng, opts);
+  DistBlock dist = reference_apsp(graph);
+  dist.at(0, 15) -= 1;
+  dist.at(15, 0) -= 1;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  // Either the deflated entry is unattained, or a neighbor entry is now
+  // relaxable through it; both certify the corruption.
+  EXPECT_TRUE(report.problem.find("unattained") != std::string::npos ||
+              report.problem.find("relaxable") != std::string::npos)
+      << report.problem;
+}
+
+TEST(Validate, CatchesFiniteAcrossComponents) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(2, 3, 1);
+  const Graph graph = std::move(builder).build();
+  DistBlock dist = reference_apsp(graph);
+  dist.at(0, 2) = 5;
+  dist.at(2, 0) = 5;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("across components"), std::string::npos);
+}
+
+TEST(Validate, CatchesInfiniteWithinComponent) {
+  Rng rng(11);
+  const Graph graph = make_path(4, rng);
+  DistBlock dist = reference_apsp(graph);
+  dist.at(0, 3) = kInf;
+  dist.at(3, 0) = kInf;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("infinite within"), std::string::npos);
+}
+
+TEST(Validate, ToleranceAbsorbsFloatNoise) {
+  Rng rng(12);
+  WeightOptions opts;
+  opts.integer = false;
+  opts.min_weight = 0.1;
+  opts.max_weight = 2.0;
+  const Graph graph = make_grid2d(6, 6, rng, opts);
+  DistBlock dist = reference_apsp(graph);
+  for (auto& v : dist.data())
+    if (!is_inf(v) && v != 0) v *= 1.0 + 1e-13;
+  EXPECT_TRUE(validate_apsp(graph, dist));
+  // ...but a real error is still caught.
+  dist.at(0, 35) *= 1.5;
+  dist.at(35, 0) *= 1.5;
+  EXPECT_FALSE(validate_apsp(graph, dist).ok);
+}
+
+TEST(Validate, RejectsNegativeWeightCertificates) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, -1);
+  const Graph graph = std::move(builder).build();
+  DistBlock dist(2, 2, -1);
+  dist.at(0, 0) = dist.at(1, 1) = 0;
+  const ValidationReport report = validate_apsp(graph, dist);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.problem.find("negative"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capsp

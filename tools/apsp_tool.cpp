@@ -1,0 +1,219 @@
+// apsp_tool — command-line front end to the capsp library.
+//
+// Subcommand-style interface for working with graphs from files or
+// generators without writing C++:
+//
+//   apsp_tool --mode solve --graph grid --n 400 --height 3
+//       run 2D-SPARSE-APSP, print summary stats and costs
+//   apsp_tool --mode solve --file g.txt --algorithm dc --q 4
+//       run a chosen algorithm on a graph file
+//   apsp_tool --mode partition --file g.txt --height 3
+//       run nested dissection, print the supernode/separator profile
+//   apsp_tool --mode solve --file g.txt --save-distances g.dist --verify
+//       solve once, certify the result, cache the matrix
+//   apsp_tool --mode query --file g.txt --distances g.dist --from 0 --to 17
+//       print the shortest path between two vertices (cached matrix)
+//   apsp_tool --mode gen --graph rmat --n 512 --out g.txt
+//       write a generated instance to a file
+#include <cmath>
+#include <iostream>
+
+#include "capsp.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace capsp;
+
+Graph build_graph(const Cli& cli, Rng& rng) {
+  const std::string file = cli.get_string("file", "");
+  if (!file.empty()) return load_graph_auto(file);
+  const std::string kind = cli.get_string("graph", "grid");
+  const auto n = static_cast<Vertex>(cli.get_int("n", 256));
+  if (kind == "grid") {
+    const auto side =
+        static_cast<Vertex>(isqrt(static_cast<std::uint64_t>(n)));
+    return make_grid2d(side, side, rng);
+  }
+  if (kind == "grid3d") {
+    const auto side = static_cast<Vertex>(
+        std::llround(std::cbrt(static_cast<double>(n))));
+    return make_grid3d(side, side, side, rng);
+  }
+  if (kind == "er") return make_erdos_renyi(n, 8.0, rng);
+  if (kind == "tree") return make_random_tree(n, rng);
+  if (kind == "rmat") return make_rmat(n, 8.0, rng);
+  if (kind == "geometric")
+    return make_random_geometric(n,
+                                 2.2 / std::sqrt(static_cast<double>(n)),
+                                 rng);
+  CAPSP_CHECK_MSG(false, "unknown --graph '" << kind << "'");
+  return Graph();
+}
+
+int mode_gen(const Cli& cli, Rng& rng) {
+  const Graph graph = build_graph(cli, rng);
+  const std::string out = cli.get_string("out", "");
+  CAPSP_CHECK_MSG(!out.empty(), "--mode gen requires --out <path>");
+  save_edge_list(out, graph);
+  std::cout << "wrote " << graph.num_vertices() << " vertices / "
+            << graph.num_edges() << " edges to " << out << "\n";
+  return 0;
+}
+
+int mode_partition(const Cli& cli, Rng& rng) {
+  const Graph graph = build_graph(cli, rng);
+  const int height = static_cast<int>(cli.get_int("height", 3));
+  const Dissection nd = nested_dissection(graph, height, rng);
+  std::cout << "nested dissection of " << graph.num_vertices()
+            << " vertices into " << nd.tree.num_supernodes()
+            << " supernodes (h=" << height << "):\n";
+  TextTable table({"supernode", "level", "kind", "vertices"});
+  for (Snode s = 1; s <= nd.tree.num_supernodes(); ++s) {
+    table.add_row({TextTable::num(static_cast<std::int64_t>(s)),
+                   TextTable::num(nd.tree.level_of(s)),
+                   nd.tree.level_of(s) == 1 ? "leaf" : "separator",
+                   TextTable::num(static_cast<std::int64_t>(
+                       nd.range_of(s).size()))});
+  }
+  table.print(std::cout);
+  std::cout << "top separator |S| = " << nd.top_separator_size() << " = "
+            << static_cast<double>(nd.top_separator_size()) /
+                   std::sqrt(static_cast<double>(graph.num_vertices()))
+            << "·√n\n";
+  return 0;
+}
+
+int mode_solve(const Cli& cli, Rng& rng) {
+  const Graph graph = build_graph(cli, rng);
+  const std::string algorithm = cli.get_string("algorithm", "sparse");
+  std::cout << "graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges\n";
+  // --height 0 (the default "auto") picks a machine size for the graph.
+  const int height_flag = static_cast<int>(cli.get_int("height", 3));
+  const int height =
+      height_flag > 0 ? height_flag : recommend_height(graph);
+  if (height_flag <= 0)
+    std::cout << "auto-selected eTree height " << height << " (p = "
+              << ((1 << height) - 1) * ((1 << height) - 1) << ")\n";
+  DistBlock distances;
+  if (algorithm == "bottleneck") {
+    SparseApspOptions options;
+    options.height = height;
+    const SparseApspResult result = run_sparse_bottleneck(graph, options);
+    std::cout << "distributed bottleneck (max,min) on p="
+              << result.num_ranks
+              << ": L=" << result.costs.critical_latency
+              << " messages, B=" << result.costs.critical_bandwidth
+              << " words\n";
+    Dist narrowest = kInf;
+    for (Vertex u = 0; u < graph.num_vertices(); ++u)
+      for (Vertex v = u + 1; v < graph.num_vertices(); ++v)
+        narrowest = std::min(narrowest, result.distances.at(u, v));
+    std::cout << "narrowest pair bottleneck: " << narrowest << "\n";
+    return 0;
+  }
+  if (algorithm == "sparse") {
+    SparseApspOptions options;
+    options.height = height;
+    const SparseApspResult result = run_sparse_apsp(graph, options);
+    distances = result.distances;
+    std::cout << "2D-SPARSE-APSP on p=" << result.num_ranks
+              << ": L=" << result.costs.critical_latency
+              << " messages, B=" << result.costs.critical_bandwidth
+              << " words, |S|=" << result.separator_size << "\n";
+  } else if (algorithm == "dc") {
+    const int q = static_cast<int>(cli.get_int("q", 4));
+    const DistributedApspResult result = run_dc_apsp(graph, q);
+    distances = result.distances;
+    std::cout << "2D-DC-APSP on p=" << q * q
+              << ": L=" << result.costs.critical_latency
+              << " messages, B=" << result.costs.critical_bandwidth
+              << " words\n";
+  } else if (algorithm == "superfw") {
+    const Dissection nd = nested_dissection(graph, height, rng);
+    const SuperFwResult result = superfw_original_order(graph, nd);
+    distances = result.distances;
+    std::cout << "SuperFW: " << result.ops << " scalar ops\n";
+  } else if (algorithm == "dijkstra") {
+    distances = reference_apsp(graph);
+    std::cout << "Dijkstra-per-source (sequential oracle)\n";
+  } else {
+    CAPSP_CHECK_MSG(false, "unknown --algorithm '" << algorithm
+                                                   << "' (sparse|dc|superfw|"
+                                                      "dijkstra|bottleneck)");
+  }
+  const std::string save_path = cli.get_string("save-distances", "");
+  if (!save_path.empty()) {
+    save_block(save_path, distances);
+    std::cout << "saved distance matrix to " << save_path << "\n";
+  }
+  if (cli.get_bool("verify", false)) {
+    const ValidationReport report = validate_apsp(graph, distances);
+    CAPSP_CHECK_MSG(report.ok, "result failed the APSP certificate: "
+                                   << report.problem);
+    std::cout << "certificate: distances verified exact (O(n·m) check)\n";
+  }
+  const PathOracle oracle(graph, std::move(distances));
+  std::cout << "diameter " << oracle.diameter() << ", radius "
+            << oracle.radius() << ", mean distance "
+            << oracle.mean_distance() << "\n";
+  return 0;
+}
+
+int mode_query(const Cli& cli, Rng& rng) {
+  const Graph graph = build_graph(cli, rng);
+  const auto from = static_cast<Vertex>(cli.get_int("from", 0));
+  const auto to = static_cast<Vertex>(
+      cli.get_int("to", graph.num_vertices() - 1));
+  // A cached matrix (from solve --save-distances) skips the recompute.
+  const std::string cached = cli.get_string("distances", "");
+  DistBlock distances;
+  if (!cached.empty()) {
+    distances = load_block(cached);
+  } else {
+    SparseApspOptions options;
+    options.height = static_cast<int>(cli.get_int("height", 2));
+    distances = run_sparse_apsp(graph, options).distances;
+  }
+  const PathOracle oracle(graph, std::move(distances));
+  if (!oracle.reachable(from, to)) {
+    std::cout << from << " -> " << to << ": unreachable\n";
+    return 0;
+  }
+  std::cout << from << " -> " << to << ": distance "
+            << oracle.distance(from, to) << "\npath:";
+  for (Vertex v : oracle.shortest_path(from, to)) std::cout << ' ' << v;
+  std::cout << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli(argc, argv);
+    const std::string mode = cli.get_string("mode", "solve");
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    // Pre-register flags each mode may use so check_unused stays accurate.
+    int status;
+    if (mode == "gen") {
+      status = mode_gen(cli, rng);
+    } else if (mode == "partition") {
+      status = mode_partition(cli, rng);
+    } else if (mode == "solve") {
+      status = mode_solve(cli, rng);
+    } else if (mode == "query") {
+      status = mode_query(cli, rng);
+    } else {
+      std::cerr << "unknown --mode '" << mode
+                << "' (solve|partition|query|gen)\n";
+      return 2;
+    }
+    return status;
+  } catch (const capsp::check_error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
