@@ -45,6 +45,14 @@ void r4_strategies(const Graph& graph) {
                                   3),
                    TextTable::num(one.costs.critical_bandwidth, 6),
                    TextTable::num(seq.costs.critical_bandwidth, 6)});
+    BenchJson::get("ablation_r4").add(
+        {{"h", h},
+         {"p", one.num_ranks},
+         {"l_one_to_one", one.costs.critical_latency},
+         {"l_shared", shared.costs.critical_latency},
+         {"l_sequential", seq.costs.critical_latency},
+         {"b_one_to_one", one.costs.critical_bandwidth},
+         {"b_sequential", seq.costs.critical_bandwidth}});
   }
   table.print(std::cout);
   std::cout <<
@@ -71,6 +79,13 @@ void collective_algorithms(const Graph& graph) {
                    TextTable::num(tree.costs.critical_bandwidth /
                                       pipe.costs.critical_bandwidth,
                                   3)});
+    BenchJson::get("ablation_collectives").add(
+        {{"h", h},
+         {"p", tree.num_ranks},
+         {"l_tree", tree.costs.critical_latency},
+         {"l_pipelined", pipe.costs.critical_latency},
+         {"b_tree", tree.costs.critical_bandwidth},
+         {"b_pipelined", pipe.costs.critical_bandwidth}});
   }
   table.print(std::cout);
   std::cout <<

@@ -45,6 +45,12 @@ void run(Vertex n_target, int height) {
                      TextTable::num(volume.messages),
                      TextTable::num(model, 5),
                      TextTable::num(volume.words / model, 3)});
+      BenchJson::get("bandwidth_regions")
+          .add({{"h", height},
+                {"phase", phase},
+                {"max_rank_words", volume.words},
+                {"max_rank_messages", volume.messages},
+                {"model", model}});
     }
   }
   table.print(std::cout);

@@ -4,19 +4,130 @@
 // DESIGN.md's experiment index and EXPERIMENTS.md for the reading); they
 // all print aligned text tables on stdout and exit 0, so
 // `for b in build/bench/*; do $b; done` regenerates every artifact.
+// Besides the text tables, every bench mirrors its rows into a
+// machine-readable JSON record via BenchJson below: set
+// CAPSP_BENCH_JSON_DIR=<dir> and each bench writes
+// <dir>/BENCH_<name>.json on exit (no env var → no files, no cost).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/generators.hpp"
+#include "machine/cost_model.hpp"
 #include "util/bits.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace capsp::bench {
+
+/// Per-bench JSON record sink.  Usage, once per printed table row:
+///
+///   BenchJson::get("table2").add({{"family", f.name}, {"n", n}}, &costs);
+///
+/// Records accumulate in a process-wide registry; at exit, each named
+/// bench writes $CAPSP_BENCH_JSON_DIR/BENCH_<name>.json (an object with a
+/// "records" array).  When the env var is unset nothing is written, so
+/// interactive runs are unaffected.  Passing a CostReport appends its
+/// headline scalars to the record.
+class BenchJson {
+ public:
+  /// One JSON-serializable cell value.
+  struct Value {
+    enum class Kind { kInt, kDouble, kString };
+    Kind kind;
+    std::int64_t i = 0;
+    double d = 0;
+    std::string s;
+    Value(int v) : kind(Kind::kInt), i(v) {}                      // NOLINT
+    Value(std::int64_t v) : kind(Kind::kInt), i(v) {}             // NOLINT
+    Value(std::size_t v)                                          // NOLINT
+        : kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+    Value(double v) : kind(Kind::kDouble), d(v) {}                // NOLINT
+    Value(const char* v) : kind(Kind::kString), s(v) {}           // NOLINT
+    Value(std::string v) : kind(Kind::kString), s(std::move(v)) {}  // NOLINT
+  };
+  using Field = std::pair<std::string, Value>;
+
+  static BenchJson& get(const std::string& name) {
+    struct Registry {
+      std::map<std::string, BenchJson> benches;
+      ~Registry() {
+        const char* dir = std::getenv("CAPSP_BENCH_JSON_DIR");
+        if (dir == nullptr) return;
+        for (auto& [name, bench] : benches) bench.write(dir);
+      }
+    };
+    static Registry registry;
+    auto it = registry.benches.find(name);
+    if (it == registry.benches.end())
+      it = registry.benches.emplace(name, BenchJson(name)).first;
+    return it->second;
+  }
+
+  void add(std::initializer_list<Field> fields,
+           const CostReport* costs = nullptr) {
+    std::vector<Field> record(fields);
+    if (costs != nullptr) {
+      record.emplace_back("critical_latency", costs->critical_latency);
+      record.emplace_back("critical_bandwidth", costs->critical_bandwidth);
+      record.emplace_back("total_messages", costs->total_messages);
+      record.emplace_back("total_words", costs->total_words);
+      record.emplace_back("max_rank_messages", costs->max_rank_messages);
+      record.emplace_back("max_rank_words", costs->max_rank_words);
+    }
+    records_.push_back(std::move(record));
+  }
+
+ private:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void write(const std::string& dir) const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "BenchJson: cannot write " << path << "\n";
+      return;
+    }
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("bench", name_);
+    json.key("records");
+    json.begin_array();
+    for (const auto& record : records_) {
+      json.begin_object();
+      for (const auto& [key, value] : record) {
+        switch (value.kind) {
+          case Value::Kind::kInt:
+            json.field(key, value.i);
+            break;
+          case Value::Kind::kDouble:
+            json.field(key, value.d);
+            break;
+          case Value::Kind::kString:
+            json.field(key, value.s);
+            break;
+        }
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << '\n';
+  }
+
+  std::string name_;
+  std::vector<std::vector<Field>> records_;
+};
 
 /// Named graph family for sweeps.
 struct Family {

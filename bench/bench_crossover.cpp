@@ -48,6 +48,13 @@ void run(Vertex n_target, int height) {
          TextTable::num(dc.costs.critical_latency /
                             sparse.costs.critical_latency,
                         3)});
+    BenchJson::get("crossover").add(
+        {{"family", family.name},
+         {"n", graph.num_vertices()},
+         {"separator", static_cast<std::int64_t>(sparse.separator_size)},
+         {"b_dc", dc.costs.critical_bandwidth},
+         {"l_dc", dc.costs.critical_latency}},
+        &sparse.costs);
   }
   table.print(std::cout);
 }

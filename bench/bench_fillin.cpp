@@ -92,6 +92,12 @@ void families(Vertex n_target, int height) {
          TextTable::num(100.0 * static_cast<double>(stats.empty_area) /
                             std::max<std::int64_t>(stats.total_area, 1),
                         4)});
+    BenchJson::get("fillin").add(
+        {{"family", family.name},
+         {"n", graph.num_vertices()},
+         {"separator", static_cast<std::int64_t>(nd.top_separator_size())},
+         {"total_blocks", stats.total_blocks},
+         {"empty_blocks", stats.empty_blocks}});
   }
   table.print(std::cout);
   std::cout << "reading: small-separator families (grids, trees, geometric) "

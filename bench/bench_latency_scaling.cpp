@@ -34,6 +34,8 @@ void sparse_latency(const Graph& graph) {
                    TextTable::num(result.costs.critical_latency /
                                       (log2p * log2p),
                                   3)});
+    BenchJson::get("latency_scaling")
+        .add({{"h", h}, {"p", result.num_ranks}}, &result.costs);
   }
   table.print(std::cout);
   std::cout << "reading: the last column must stay ~flat (L = Θ(log²p)); "
@@ -87,6 +89,8 @@ void baseline_latency(const Graph& graph) {
                    TextTable::num(result.costs.critical_latency, 6),
                    TextTable::num(result.costs.critical_latency / model,
                                   3)});
+    BenchJson::get("latency_scaling_dc")
+        .add({{"q", q}, {"p", q * q}}, &result.costs);
   }
   table.print(std::cout);
 

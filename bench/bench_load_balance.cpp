@@ -111,6 +111,12 @@ void run(const Family& family, Vertex n_target) {
          TextTable::num(100.0 * static_cast<double>(busy) /
                             static_cast<double>(ops.size()),
                         4)});
+    BenchJson::get("load_balance").add({{"family", family.name},
+                                        {"h", h},
+                                        {"p", result.num_ranks},
+                                        {"total_ops", total},
+                                        {"max_ops", peak},
+                                        {"busy_ranks", busy}});
   }
   table.print(std::cout);
 }

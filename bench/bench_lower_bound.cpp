@@ -39,6 +39,14 @@ void run(const Family& family, Vertex n_target) {
          TextTable::num(result.costs.critical_latency, 5),
          TextTable::num(l_lb, 4),
          TextTable::num(result.costs.critical_latency / l_lb, 3)});
+    BenchJson::get("lower_bound").add(
+        {{"family", family.name},
+         {"h", h},
+         {"p", result.num_ranks},
+         {"separator", static_cast<std::int64_t>(result.separator_size)},
+         {"b_lower_bound", b_lb},
+         {"l_lower_bound", l_lb}},
+        &result.costs);
   }
   table.print(std::cout);
 }

@@ -52,6 +52,13 @@ void unit_counts() {
                           3),
            workers.size() == units.size() ? "yes" : "NO",
            TextTable::num(static_cast<std::int64_t>(rows.size()))});
+      BenchJson::get("mapping").add(
+          {{"h", h},
+           {"p", p},
+           {"level", l},
+           {"units", static_cast<std::int64_t>(units.size())},
+           {"injective", workers.size() == units.size() ? "yes" : "no"},
+           {"grid_rows_used", static_cast<std::int64_t>(rows.size())}});
     }
   }
   table.print(std::cout);

@@ -45,6 +45,13 @@ void separator_quality() {
            TextTable::num(static_cast<std::int64_t>(part.v1.size())),
            TextTable::num(static_cast<std::int64_t>(part.v2.size())),
            TextTable::num(balance, 3)});
+      BenchJson::get("partition").add(
+          {{"family", family.name},
+           {"n", graph.num_vertices()},
+           {"separator", static_cast<std::int64_t>(part.separator.size())},
+           {"v1", static_cast<std::int64_t>(part.v1.size())},
+           {"v2", static_cast<std::int64_t>(part.v2.size())},
+           {"balance", balance}});
     }
   }
   table.print(std::cout);

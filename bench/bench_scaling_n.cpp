@@ -37,6 +37,12 @@ void run(int h) {
          TextTable::num(dense.costs.critical_bandwidth /
                             sparse.costs.critical_bandwidth,
                         3)});
+    BenchJson::get("scaling_n").add(
+        {{"n", graph.num_vertices()},
+         {"h", h},
+         {"separator", static_cast<std::int64_t>(sparse.separator_size)},
+         {"b_sparse", sparse.costs.critical_bandwidth},
+         {"b_dense", dense.costs.critical_bandwidth}});
   }
   table.print(std::cout);
   const LinearFit sparse_fit = power_law_fit(ns, sparse_bw);

@@ -32,6 +32,13 @@ void run(const Family& family, int height) {
                             static_cast<double>(sfw.ops),
                         3),
          TextTable::num(n / s, 3)});
+    BenchJson::get("superfw_ops").add(
+        {{"family", family.name},
+         {"n", graph.num_vertices()},
+         {"separator", static_cast<std::int64_t>(nd.top_separator_size())},
+         {"fw_ops", fw_ops},
+         {"superfw_ops", sfw.ops},
+         {"skipped_blocks", sfw.skipped_blocks}});
   }
   table.print(std::cout);
 }

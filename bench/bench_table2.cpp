@@ -56,6 +56,16 @@ void run(Vertex n_target) {
          TextTable::num(dc.costs.critical_latency /
                             sparse.costs.critical_latency,
                         3)});
+    BenchJson::get("table2").add(
+        {{"h", h},
+         {"p_sparse", sparse.num_ranks},
+         {"separator", static_cast<std::int64_t>(sparse.separator_size)},
+         {"m_sparse", sparse.max_block_words},
+         {"q_dc", q},
+         {"m_dc", m_dc},
+         {"b_dc", dc.costs.critical_bandwidth},
+         {"l_dc", dc.costs.critical_latency}},
+        &sparse.costs);
   }
   table.print(std::cout);
 

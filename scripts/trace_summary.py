@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Summarize a capsp Chrome trace: top-k phases by critical-path cost.
+
+Usage:
+    python3 scripts/trace_summary.py trace.json [--top K] [--axis latency|bandwidth]
+
+Reads the trace JSON written by `apsp_tool --trace=<file>` (or
+write_chrome_trace), pulls the critical-path decomposition the exporter
+embeds under the top-level "capsp" key, and prints the phases that
+contribute most to the end-to-end critical cost.  Exits non-zero when the
+file is not a capsp trace, so it doubles as a CI validator.
+"""
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON from apsp_tool --trace")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of phases to print (default 10)")
+    parser.add_argument("--axis", choices=["latency", "bandwidth"],
+                        default="latency",
+                        help="critical-path axis to rank by (default latency)")
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        trace = json.load(f)
+
+    capsp = trace.get("capsp")
+    if capsp is None:
+        print(f"error: {args.trace} has no 'capsp' key — not a capsp trace",
+              file=sys.stderr)
+        return 1
+    section = capsp.get(f"critical_{args.axis}")
+    if section is None:
+        print(f"error: trace has no critical_{args.axis} decomposition "
+              "(was the critical path exported?)", file=sys.stderr)
+        return 1
+
+    unit = "messages" if args.axis == "latency" else "words"
+    total = section["total"]
+    by_phase = sorted(section["by_phase"].items(), key=lambda kv: -kv[1])
+    print(f"trace: {capsp['ranks']} ranks, {capsp['events']} events")
+    print(f"critical {args.axis}: {total:g} {unit} "
+          f"across {section['hops']} message hops")
+    print(f"\ntop {min(args.top, len(by_phase))} phases by "
+          f"critical-path {args.axis}:")
+    print(f"  {'phase':<16} {'cost':>12} {'share':>8}")
+    for phase, cost in by_phase[:args.top]:
+        share = 100.0 * cost / total if total else 0.0
+        print(f"  {phase:<16} {cost:>12g} {share:>7.1f}%")
+
+    # Sanity invariant the C++ tests also enforce: segments sum to total.
+    segment_sum = sum(section["by_phase"].values())
+    if abs(segment_sum - total) > 1e-9 * max(1.0, abs(total)):
+        print(f"error: phase segments sum to {segment_sum:g} != total "
+              f"{total:g}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

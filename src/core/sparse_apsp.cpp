@@ -323,20 +323,28 @@ void sparse_apsp_rank(Comm& comm, const ApspLayout& layout, DistBlock& local,
                          : SemiringKernels::of<MinPlusSemiring>();
   RankCtx ctx{layout, bi, bj, strategy, collectives, effective};
 
+  // Each region runs under its own phase label; when tracing, the scalar
+  // ⊗ operations it performed are stamped on the timeline as a compute
+  // record (zero cost — the model meters communication only).
+  const auto region = [&](const std::string& phase, const char* label,
+                          auto&& update) {
+    comm.set_phase(phase);
+    const std::int64_t ops_before = ctx.ops;
+    update();
+    comm.record_compute(ctx.ops - ops_before, label);
+  };
   for (int l = 1; l <= tree.height(); ++l) {
     const std::string prefix = "L" + std::to_string(l) + "/";
-    comm.set_phase(prefix + "R1");
-    update_r1(comm, ctx, local, l);
-    comm.set_phase(prefix + "R2");
-    update_r2(comm, ctx, local, l);
-    comm.set_phase(prefix + "R3");
-    update_r3(comm, ctx, local, l);
-    comm.set_phase(prefix + "R4");
-    if (strategy == R4Strategy::kSequential) {
-      update_r4_sequential(comm, ctx, local, l);
-    } else {
-      update_r4_workers(comm, ctx, local, l);
-    }
+    region(prefix + "R1", "R1", [&] { update_r1(comm, ctx, local, l); });
+    region(prefix + "R2", "R2", [&] { update_r2(comm, ctx, local, l); });
+    region(prefix + "R3", "R3", [&] { update_r3(comm, ctx, local, l); });
+    region(prefix + "R4", "R4", [&] {
+      if (strategy == R4Strategy::kSequential) {
+        update_r4_sequential(comm, ctx, local, l);
+      } else {
+        update_r4_workers(comm, ctx, local, l);
+      }
+    });
     if (level_clocks_out != nullptr) level_clocks_out->push_back(comm.clock());
   }
   if (ops_out != nullptr) *ops_out = ctx.ops;
@@ -370,6 +378,7 @@ SparseApspResult run_sparse_apsp_semiring(const Graph& graph,
   result.separator_size = nd.top_separator_size();
 
   Machine machine(p);
+  machine.enable_tracing(options.trace);
   std::vector<CostClock> apsp_clocks(static_cast<std::size_t>(p));
   std::vector<std::vector<CostClock>> level_clocks(
       static_cast<std::size_t>(p));
@@ -432,6 +441,7 @@ SparseApspResult run_sparse_apsp_semiring(const Graph& graph,
         std::max(result.costs.critical_bandwidth, clock.words);
   }
   result.max_block_words = max_block_words;
+  if (options.trace) result.trace = machine.trace();
   result.clock_after_level.assign(static_cast<std::size_t>(nd.tree.height()),
                                   CostClock{});
   for (const auto& per_rank : level_clocks) {

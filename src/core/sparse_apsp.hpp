@@ -61,6 +61,10 @@ struct SparseApspOptions {
   /// (the paper's O(log p) messages, O(w·log p) words) or pipelined
   /// scatter-allgather (O(|group|) messages, O(w) words).
   CollectiveAlgorithm collectives = CollectiveAlgorithm::kBinomialTree;
+  /// Record per-rank event timelines (Machine::enable_tracing); the
+  /// timelines land in SparseApspResult::trace.  Purely observational —
+  /// the metered costs are bit-identical on or off.
+  bool trace = false;
 };
 
 struct SparseApspResult {
@@ -78,6 +82,9 @@ struct SparseApspResult {
   /// index l-1 for level l.  Successive differences are the per-level
   /// critical costs L_l and B_l of Lemmas 5.6/5.9, measured directly.
   std::vector<CostClock> clock_after_level;
+  /// Per-rank event timelines (empty unless options.trace); feed to
+  /// extract_critical_path / write_chrome_trace.
+  Trace trace;
 };
 
 /// SPMD body of Algorithm 1.  Every rank of a p = N²-rank machine calls

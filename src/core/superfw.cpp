@@ -27,7 +27,9 @@ SuperFwResult superfw(const Graph& reordered, const Dissection& nd) {
   result.distances = to_distance_matrix(reordered);
   DistBlock& a = result.distances;
 
+  result.ops_per_level.assign(static_cast<std::size_t>(tree.height()), 0);
   for (int l = 1; l <= tree.height(); ++l) {
+    const std::int64_t ops_before_level = result.ops;
     for (Snode k : tree.level_set(l)) {
       const VertexRange rk = nd.range_of(k);
       // Relatives of k: ancestors + descendants (cousin blocks are
@@ -72,6 +74,8 @@ SuperFwResult superfw(const Graph& reordered, const Dissection& nd) {
         }
       }
     }
+    result.ops_per_level[static_cast<std::size_t>(l - 1)] =
+        result.ops - ops_before_level;
   }
   return result;
 }

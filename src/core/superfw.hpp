@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/layout.hpp"
 #include "graph/graph.hpp"
@@ -24,6 +25,11 @@ struct SuperFwResult {
   DistBlock distances;        ///< APSP of the *reordered* graph
   std::int64_t ops = 0;       ///< scalar ⊗ operations performed
   std::int64_t skipped_blocks = 0;  ///< block updates avoided by sparsity
+  /// ⊗ operations per elimination level (index l-1 for level l); the
+  /// sequential mirror of SparseApspResult::clock_after_level, so the
+  /// distributed per-level work can be checked against the same schedule
+  /// run sequentially.  Sums to `ops`.
+  std::vector<std::int64_t> ops_per_level;
 };
 
 /// Run SuperFW on the reordered graph described by `nd`.  `reordered`

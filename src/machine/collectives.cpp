@@ -7,6 +7,22 @@
 namespace capsp {
 namespace {
 
+/// Paired trace-span markers around a collective (no-op unless the
+/// machine is tracing), exception-safe via RAII.
+class SpanGuard {
+ public:
+  SpanGuard(Comm& comm, const char* label) : comm_(comm), label_(label) {
+    comm_.span_begin(label_);
+  }
+  ~SpanGuard() { comm_.span_end(label_); }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Comm& comm_;
+  const char* label_;
+};
+
 /// Position of `rank` in `group`; CHECK-fails if absent or duplicated.
 std::size_t position_in(std::span<const RankId> group, RankId rank) {
   std::size_t pos = group.size();
@@ -140,6 +156,7 @@ void group_broadcast(Comm& comm, std::span<const RankId> group, RankId root,
                      CollectiveAlgorithm algorithm) {
   const std::size_t k = group.size();
   if (k <= 1) return;
+  SpanGuard span(comm, "bcast");
   if (algorithm == CollectiveAlgorithm::kPipelined) {
     broadcast_pipelined(comm, group, root, block, tag);
     return;
@@ -172,6 +189,7 @@ void group_reduce(Comm& comm, std::span<const RankId> group, RankId root,
                   CollectiveAlgorithm algorithm) {
   const std::size_t k = group.size();
   if (k <= 1) return;
+  SpanGuard span(comm, "reduce");
   if (algorithm == CollectiveAlgorithm::kPipelined) {
     reduce_pipelined(comm, group, root, block, tag, combine);
     return;
@@ -218,6 +236,7 @@ std::vector<DistBlock> group_gather(
     const DistBlock& block,
     std::span<const std::pair<std::int64_t, std::int64_t>> shapes, Tag tag) {
   CAPSP_CHECK(shapes.size() == group.size());
+  SpanGuard span(comm, "gather");
   const std::size_t pos = position_in(group, comm.rank());
   CAPSP_CHECK(block.rows() == shapes[pos].first &&
               block.cols() == shapes[pos].second);
@@ -243,6 +262,7 @@ DistBlock group_scatter(
     std::span<const DistBlock> blocks,
     std::span<const std::pair<std::int64_t, std::int64_t>> shapes, Tag tag) {
   CAPSP_CHECK(shapes.size() == group.size());
+  SpanGuard span(comm, "scatter");
   const std::size_t pos = position_in(group, comm.rank());
   if (comm.rank() == root) {
     CAPSP_CHECK(blocks.size() == group.size());

@@ -18,6 +18,11 @@ CostReport CostReport::aggregate(const std::vector<RankCost>& ranks) {
       rank_messages += volume.messages;
       rank_words += volume.words;
     }
+    for (const auto& [phase, volume] : rank.pre_reset_volume_by_phase) {
+      report.setup_phase_total[phase] += volume;
+      report.setup_messages += volume.messages;
+      report.setup_words += volume.words;
+    }
     report.total_messages += rank_messages;
     report.total_words += rank_words;
     report.max_rank_messages =

@@ -25,6 +25,9 @@
 
 namespace capsp {
 
+using RankId = int;
+using Tag = std::int64_t;
+
 /// Logical (latency, words) clock carried by every message.
 struct CostClock {
   double latency = 0;
@@ -35,10 +38,27 @@ struct CostClock {
     words += word_count;
   }
 
-  /// Componentwise max (join of two histories).
-  void merge(const CostClock& other) {
-    latency = std::max(latency, other.latency);
-    words = std::max(words, other.words);
+  /// Which side of a merge supplied each axis of the result — the blame
+  /// record the critical-path walk (trace.hpp) follows backward.
+  struct MergeOutcome {
+    bool latency_from_other = false;
+    bool words_from_other = false;
+  };
+
+  /// Componentwise max (join of two histories), reporting per axis
+  /// whether `other` won.  Ties blame the local history, so walks are
+  /// deterministic and never cross a message that added nothing.
+  MergeOutcome merge(const CostClock& other) {
+    MergeOutcome outcome;
+    if (other.latency > latency) {
+      latency = other.latency;
+      outcome.latency_from_other = true;
+    }
+    if (other.words > words) {
+      words = other.words;
+      outcome.words_from_other = true;
+    }
+    return outcome;
   }
 };
 
@@ -58,6 +78,10 @@ struct PhaseVolume {
 struct RankCost {
   CostClock clock;
   std::map<std::string, PhaseVolume> volume_by_phase;
+  /// Volumes counted before the last Comm::reset_clock(), segmented away
+  /// so setup/data-distribution traffic never pollutes the per-phase
+  /// volumes of the measured algorithm (see machine.hpp).
+  std::map<std::string, PhaseVolume> pre_reset_volume_by_phase;
   std::string current_phase = "default";
 
   void count_send(std::int64_t word_count) {
@@ -65,9 +89,21 @@ struct RankCost {
     ++v.messages;
     v.words += word_count;
   }
+
+  /// Fold the current per-phase counts into the pre-reset segment and
+  /// start clean; called by Comm::reset_clock().
+  void segment_volumes_at_reset() {
+    for (const auto& [phase, volume] : volume_by_phase)
+      pre_reset_volume_by_phase[phase] += volume;
+    volume_by_phase.clear();
+  }
 };
 
-/// Aggregated machine-wide costs after a run.
+/// Aggregated machine-wide costs after a run.  Volume fields cover the
+/// traffic after the last Comm::reset_clock() on each rank (the whole run
+/// when no rank resets); the pre-reset segment is reported separately in
+/// the setup_* fields so the headline numbers describe the measured
+/// algorithm only.
 struct CostReport {
   double critical_latency = 0;     ///< max final latency clock (paper's L)
   double critical_bandwidth = 0;   ///< max final word clock (paper's B)
@@ -78,6 +114,10 @@ struct CostReport {
   /// Per-phase volumes: total across ranks and per-rank maximum.
   std::map<std::string, PhaseVolume> phase_total;
   std::map<std::string, PhaseVolume> phase_max_rank;
+  /// Pre-reset (setup/data-distribution) traffic, kept out of the totals.
+  std::map<std::string, PhaseVolume> setup_phase_total;
+  std::int64_t setup_messages = 0;
+  std::int64_t setup_words = 0;
 
   /// Build from the final per-rank states.
   static CostReport aggregate(const std::vector<RankCost>& ranks);

@@ -15,6 +15,9 @@ namespace {
 struct Message {
   std::vector<Dist> payload;
   CostClock clock;  // sender clock after charging this message
+  // Index of the matching send event in the sender's trace timeline
+  // (-1 when tracing is off) — the back-pointer blame attribution uses.
+  std::int64_t src_event = -1;
 };
 
 /// One rank's inbox: blocking retrieval by (source, tag).
@@ -97,7 +100,20 @@ void Comm::send(RankId dst, Tag tag, std::span<const Dist> payload) {
   CAPSP_CHECK_MSG(dst >= 0 && dst < machine_->size(), "dst=" << dst);
   CAPSP_CHECK_MSG(dst != rank_, "self-send on rank " << rank_);
   const auto words = static_cast<std::int64_t>(payload.size());
+  std::int64_t src_event = -1;
+  if (tracing_) {
+    src_event = static_cast<std::int64_t>(trace_.size());
+    TraceEvent event;
+    event.kind = TraceEventKind::kSend;
+    event.phase = cost_.current_phase;
+    event.peer = dst;
+    event.tag = tag;
+    event.words = words;
+    event.before = cost_.clock;
+    trace_.push_back(std::move(event));
+  }
   cost_.clock.advance(1, static_cast<double>(words));
+  if (tracing_) trace_.back().after = cost_.clock;
   cost_.count_send(words);
   auto& traffic = machine_->impl_->traffic;
   if (traffic.num_ranks > 0) {
@@ -110,6 +126,7 @@ void Comm::send(RankId dst, Tag tag, std::span<const Dist> payload) {
   Message message;
   message.payload.assign(payload.begin(), payload.end());
   message.clock = cost_.clock;
+  message.src_event = src_event;
   machine_->impl_->mailboxes[static_cast<std::size_t>(dst)].put(
       rank_, tag, std::move(message));
 }
@@ -122,8 +139,23 @@ std::vector<Dist> Comm::recv(RankId src, Tag tag) {
                                                                        tag);
   // Receiving serializes on this rank (+1 message, +w words), but
   // concurrent disjoint transfers merge via max — see cost_model.hpp.
+  const CostClock before = cost_.clock;
   cost_.clock.advance(1, static_cast<double>(message.payload.size()));
-  cost_.clock.merge(message.clock);
+  const CostClock::MergeOutcome outcome = cost_.clock.merge(message.clock);
+  if (tracing_) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRecv;
+    event.phase = cost_.current_phase;
+    event.peer = src;
+    event.tag = tag;
+    event.words = static_cast<std::int64_t>(message.payload.size());
+    event.before = before;
+    event.after = cost_.clock;
+    event.peer_event = message.src_event;
+    event.latency_from_message = outcome.latency_from_other;
+    event.words_from_message = outcome.words_from_other;
+    trace_.push_back(std::move(event));
+  }
   return std::move(message.payload);
 }
 
@@ -139,12 +171,17 @@ DistBlock Comm::recv_block(RankId src, Tag tag, std::int64_t rows,
 }
 
 void Machine::run(const std::function<void(Comm&)>& program) {
-  // Fresh mailboxes so a failed/aborted previous run cannot leak messages.
+  // Fresh mailboxes so a failed/aborted previous run cannot leak messages,
+  // and cleared observability state so a failed run cannot leave a stale
+  // traffic matrix or trace from the previous run.
   impl_ = std::make_unique<Impl>(num_ranks_, record_traffic_);
+  traffic_ = TrafficMatrix{};
+  trace_ = Trace{};
 
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(num_ranks_));
-  for (RankId r = 0; r < num_ranks_; ++r) comms.push_back(Comm(this, r));
+  for (RankId r = 0; r < num_ranks_; ++r)
+    comms.push_back(Comm(this, r, tracing_));
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
@@ -178,6 +215,10 @@ void Machine::run(const std::function<void(Comm&)>& program) {
   for (const auto& comm : comms) costs.push_back(comm.cost());
   report_ = CostReport::aggregate(costs);
   traffic_ = std::move(impl_->traffic);
+  if (tracing_) {
+    trace_.per_rank.reserve(comms.size());
+    for (auto& comm : comms) trace_.per_rank.push_back(std::move(comm.trace_));
+  }
 }
 
 }  // namespace capsp

@@ -20,13 +20,11 @@
 #include <vector>
 
 #include "machine/cost_model.hpp"
+#include "machine/trace.hpp"
 #include "semiring/block.hpp"
 #include "util/check.hpp"
 
 namespace capsp {
-
-using RankId = int;
-using Tag = std::int64_t;
 
 class Machine;
 
@@ -53,24 +51,83 @@ class Comm {
 
   /// Label subsequent sends for per-phase volume attribution.
   void set_phase(std::string phase) {
+    if (tracing_) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kPhase;
+      event.phase = phase;
+      event.label = phase;
+      event.before = event.after = cost_.clock;
+      trace_.push_back(std::move(event));
+    }
     cost_.current_phase = std::move(phase);
   }
 
-  /// Zero this rank's critical-path clock.  Call after setup/data
-  /// distribution so the measured critical path covers only the algorithm
-  /// (all setup messages must already be received on this rank).
-  void reset_clock() { cost_.clock = CostClock{}; }
+  /// Zero this rank's critical-path clock AND segment the per-phase
+  /// volumes: counts accumulated so far move to the pre-reset map
+  /// (CostReport::setup_*), and the post-reset per-phase volumes start
+  /// clean — so setup-phase traffic never pollutes the measured
+  /// algorithm's volumes, even if a phase label is reused.  Call after
+  /// setup/data distribution so the measured critical path covers only
+  /// the algorithm (all setup messages must already be received on this
+  /// rank).
+  void reset_clock() {
+    cost_.clock = CostClock{};
+    cost_.segment_volumes_at_reset();
+    if (tracing_) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kClockReset;
+      event.phase = cost_.current_phase;
+      trace_.push_back(std::move(event));
+    }
+  }
+
+  /// Record a computation span on this rank's trace timeline: `ops`
+  /// scalar ⊗ operations under `label`.  Purely observational — the cost
+  /// model meters communication only, so the clock never moves — and a
+  /// no-op when tracing is off.
+  void record_compute(std::int64_t ops, const char* label = "") {
+    if (!tracing_) return;
+    TraceEvent event;
+    event.kind = TraceEventKind::kCompute;
+    event.phase = cost_.current_phase;
+    event.label = label;
+    event.ops = ops;
+    event.before = event.after = cost_.clock;
+    trace_.push_back(std::move(event));
+  }
+
+  /// Paired structured-region markers (the collectives wrap themselves in
+  /// these so traces show broadcast/reduce extents).  No-ops when tracing
+  /// is off; `label` is only materialized when tracing.
+  void span_begin(const char* label) {
+    if (tracing_) push_span(TraceEventKind::kSpanBegin, label);
+  }
+  void span_end(const char* label) {
+    if (tracing_) push_span(TraceEventKind::kSpanEnd, label);
+  }
 
   const CostClock& clock() const { return cost_.clock; }
   const RankCost& cost() const { return cost_; }
 
  private:
   friend class Machine;
-  Comm(Machine* machine, RankId rank) : machine_(machine), rank_(rank) {}
+  Comm(Machine* machine, RankId rank, bool tracing)
+      : machine_(machine), rank_(rank), tracing_(tracing) {}
+
+  void push_span(TraceEventKind kind, const char* label) {
+    TraceEvent event;
+    event.kind = kind;
+    event.phase = cost_.current_phase;
+    event.label = label;
+    event.before = event.after = cost_.clock;
+    trace_.push_back(std::move(event));
+  }
 
   Machine* machine_;
   RankId rank_;
+  bool tracing_;
   RankCost cost_;
+  std::vector<TraceEvent> trace_;  // this rank's timeline (if tracing)
 };
 
 /// Aggregated rank-pair traffic of one run (optional recording).
@@ -81,14 +138,25 @@ struct TrafficMatrix {
   std::vector<std::int64_t> messages;
 
   std::int64_t words_between(RankId src, RankId dst) const {
-    return words[static_cast<std::size_t>(src) *
-                     static_cast<std::size_t>(num_ranks) +
-                 static_cast<std::size_t>(dst)];
+    return words[cell(src, dst)];
   }
   std::int64_t messages_between(RankId src, RankId dst) const {
-    return messages[static_cast<std::size_t>(src) *
-                        static_cast<std::size_t>(num_ranks) +
-                    static_cast<std::size_t>(dst)];
+    return messages[cell(src, dst)];
+  }
+
+ private:
+  std::size_t cell(RankId src, RankId dst) const {
+    CAPSP_CHECK_MSG(num_ranks > 0,
+                    "traffic matrix is empty — was "
+                    "enable_traffic_recording(true) set before run()?");
+    CAPSP_CHECK_MSG(src >= 0 && src < num_ranks && dst >= 0 &&
+                        dst < num_ranks,
+                    "rank pair (" << src << ", " << dst
+                                  << ") out of range for " << num_ranks
+                                  << " ranks");
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(num_ranks) +
+           static_cast<std::size_t>(dst);
   }
 };
 
@@ -111,6 +179,13 @@ class Machine {
     record_traffic_ = enabled;
   }
 
+  /// Record per-rank event timelines during subsequent run()s (off by
+  /// default).  Tracing is observational: the metered costs are
+  /// bit-identical with tracing on or off; when off, the only overhead is
+  /// one branch per operation.  See docs/observability.md.
+  void enable_tracing(bool enabled) { tracing_ = enabled; }
+  bool tracing_enabled() const { return tracing_; }
+
   /// Execute `program` on every rank concurrently; returns when all ranks
   /// finish.  If any rank throws, the first exception is rethrown here
   /// (after all threads have been joined).
@@ -123,15 +198,29 @@ class Machine {
   /// enable_traffic_recording(true) was set before run()).
   const TrafficMatrix& traffic() const { return traffic_; }
 
+  /// Event timelines of the most recent run (empty unless
+  /// enable_tracing(true) was set before run()).
+  const Trace& trace() const { return trace_; }
+
+  /// Blame-attributed critical path of the most recent traced run: the
+  /// exact chain of events/messages that set the report's
+  /// critical_latency (or critical_bandwidth), with per-phase cost
+  /// segments that sum to the total.  CHECK-fails without a trace.
+  CriticalPathReport critical_path(CostAxis axis = CostAxis::kLatency) const {
+    return extract_critical_path(trace_, axis);
+  }
+
  private:
   friend class Comm;
   struct Impl;
 
   int num_ranks_;
   bool record_traffic_ = false;
+  bool tracing_ = false;
   std::unique_ptr<Impl> impl_;
   CostReport report_;
   TrafficMatrix traffic_;
+  Trace trace_;
 };
 
 }  // namespace capsp

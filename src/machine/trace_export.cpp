@@ -1,0 +1,214 @@
+#include "machine/trace_export.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace capsp {
+namespace {
+
+/// Globally unique flow id for the message sent as event `event_index` of
+/// rank `src` (trace event indices are well under 2^32, so this fits the
+/// 2^53 range JSON numbers keep exact).
+std::int64_t flow_id(RankId src, std::int64_t event_index) {
+  return static_cast<std::int64_t>(src) * (std::int64_t{1} << 32) +
+         event_index;
+}
+
+/// Common fields of one trace-event record.  The logical latency clock is
+/// the timeline (ts in "microseconds"), so slice widths read directly as
+/// critical-path message counts.
+void event_header(JsonWriter& json, const char* name, const char* cat,
+                  const char* ph, RankId rank, double ts) {
+  json.begin_object();
+  json.field("name", name);
+  json.field("cat", cat);
+  json.field("ph", ph);
+  json.field("pid", 0);
+  json.field("tid", static_cast<std::int64_t>(rank));
+  json.field("ts", ts);
+}
+
+void clock_args(JsonWriter& json, const TraceEvent& e) {
+  json.key("args");
+  json.begin_object();
+  json.field("phase", e.phase);
+  json.field("L", e.after.latency);
+  json.field("B", e.after.words);
+  if (e.kind == TraceEventKind::kSend || e.kind == TraceEventKind::kRecv) {
+    json.field("peer", static_cast<std::int64_t>(e.peer));
+    json.field("tag", e.tag);
+    json.field("words", e.words);
+  }
+  if (e.kind == TraceEventKind::kCompute) json.field("ops", e.ops);
+  json.end_object();
+}
+
+void write_rank_events(JsonWriter& json, RankId rank,
+                       const std::vector<TraceEvent>& timeline) {
+  // Track naming metadata.
+  json.begin_object();
+  json.field("name", "thread_name");
+  json.field("ph", "M");
+  json.field("pid", 0);
+  json.field("tid", static_cast<std::int64_t>(rank));
+  json.key("args");
+  json.begin_object();
+  json.field("name", "rank " + std::to_string(rank));
+  json.end_object();
+  json.end_object();
+
+  // Phase bands: a slice from each phase change (and from ts 0) to the
+  // next change or the end of the timeline.
+  const double final_ts =
+      timeline.empty() ? 0 : timeline.back().after.latency;
+  std::string open_phase;
+  double open_ts = 0;
+  auto close_phase = [&](double ts) {
+    if (open_phase.empty()) return;
+    event_header(json, open_phase.c_str(), "phase", "X", rank, open_ts);
+    json.field("dur", ts - open_ts);
+    json.end_object();
+  };
+  for (const TraceEvent& e : timeline) {
+    if (e.kind != TraceEventKind::kPhase) continue;
+    close_phase(e.after.latency);
+    open_phase = e.label;
+    open_ts = e.after.latency;
+  }
+  close_phase(final_ts);
+
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(timeline.size());
+       ++i) {
+    const TraceEvent& e = timeline[static_cast<std::size_t>(i)];
+    const double ts = e.after.latency;
+    switch (e.kind) {
+      case TraceEventKind::kSend:
+        event_header(json, "send", "comm", "i", rank, ts);
+        json.field("s", "t");
+        clock_args(json, e);
+        json.end_object();
+        // Flow start: the arrow to the matching receive.
+        event_header(json, "msg", "msg", "s", rank, ts);
+        json.field("id", flow_id(rank, i));
+        json.end_object();
+        break;
+      case TraceEventKind::kRecv:
+        event_header(json, "recv", "comm", "i", rank, ts);
+        json.field("s", "t");
+        clock_args(json, e);
+        json.end_object();
+        if (e.peer_event >= 0) {
+          event_header(json, "msg", "msg", "f", rank, ts);
+          json.field("id", flow_id(e.peer, e.peer_event));
+          json.field("bp", "e");
+          json.end_object();
+        }
+        break;
+      case TraceEventKind::kCompute:
+        event_header(json, e.label.empty() ? "compute" : e.label.c_str(),
+                     "compute", "i", rank, ts);
+        json.field("s", "t");
+        clock_args(json, e);
+        json.end_object();
+        break;
+      case TraceEventKind::kSpanBegin:
+        event_header(json, e.label.c_str(), "span", "B", rank, ts);
+        json.end_object();
+        break;
+      case TraceEventKind::kSpanEnd:
+        event_header(json, e.label.c_str(), "span", "E", rank, ts);
+        json.end_object();
+        break;
+      case TraceEventKind::kClockReset:
+        event_header(json, "clock reset", "comm", "i", rank, ts);
+        json.field("s", "t");
+        json.end_object();
+        break;
+      case TraceEventKind::kPhase:
+        break;  // rendered as slices above
+    }
+  }
+}
+
+void write_by_phase(JsonWriter& json, const char* key,
+                    const CriticalPathReport& path) {
+  json.key(key);
+  json.begin_object();
+  json.field("total", path.total);
+  json.field("hops", static_cast<std::int64_t>(path.hops.size()));
+  json.key("by_phase");
+  json.begin_object();
+  for (const auto& [phase, cost] : path.by_phase) json.field(phase, cost);
+  json.end_object();
+  json.end_object();
+}
+
+void write_phase_volumes(JsonWriter& json, const char* key,
+                         const std::map<std::string, PhaseVolume>& phases) {
+  json.key(key);
+  json.begin_object();
+  for (const auto& [phase, volume] : phases) {
+    json.key(phase);
+    json.begin_object();
+    json.field("messages", volume.messages);
+    json.field("words", volume.words);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Trace& trace,
+                        const CriticalPathReport* latency_path,
+                        const CriticalPathReport* bandwidth_path) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents");
+  json.begin_array();
+  for (RankId r = 0; r < static_cast<RankId>(trace.per_rank.size()); ++r)
+    write_rank_events(json, r, trace.per_rank[static_cast<std::size_t>(r)]);
+  json.end_array();
+  // Extra top-level keys are preserved by trace viewers; this is where
+  // scripts/trace_summary.py finds the critical-path decomposition.
+  json.key("capsp");
+  json.begin_object();
+  json.field("ranks", static_cast<std::int64_t>(trace.per_rank.size()));
+  json.field("events", trace.num_events());
+  if (latency_path != nullptr)
+    write_by_phase(json, "critical_latency", *latency_path);
+  if (bandwidth_path != nullptr)
+    write_by_phase(json, "critical_bandwidth", *bandwidth_path);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+}
+
+void write_cost_report_json(std::ostream& out, const CostReport& report,
+                            const CriticalPathReport* latency_path,
+                            const CriticalPathReport* bandwidth_path) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("critical_latency", report.critical_latency);
+  json.field("critical_bandwidth", report.critical_bandwidth);
+  json.field("total_messages", report.total_messages);
+  json.field("total_words", report.total_words);
+  json.field("max_rank_messages", report.max_rank_messages);
+  json.field("max_rank_words", report.max_rank_words);
+  json.field("setup_messages", report.setup_messages);
+  json.field("setup_words", report.setup_words);
+  write_phase_volumes(json, "phase_total", report.phase_total);
+  write_phase_volumes(json, "phase_max_rank", report.phase_max_rank);
+  write_phase_volumes(json, "setup_phase_total", report.setup_phase_total);
+  if (latency_path != nullptr)
+    write_by_phase(json, "critical_path_latency", *latency_path);
+  if (bandwidth_path != nullptr)
+    write_by_phase(json, "critical_path_bandwidth", *bandwidth_path);
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace capsp

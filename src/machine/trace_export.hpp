@@ -1,0 +1,36 @@
+// JSON exporters for the observability layer (docs/observability.md):
+//
+// * write_chrome_trace — the event timelines in Chrome trace-event
+//   format, loadable in chrome://tracing and ui.perfetto.dev.  One track
+//   per rank; the logical latency clock is the time axis (1 message = 1
+//   µs), phases render as slices, messages as flow arrows, and the
+//   critical-path decomposition rides along under a top-level "capsp"
+//   key (extra top-level keys are explicitly allowed by the format).
+// * write_cost_report_json — the CostReport as a machine-readable record,
+//   optionally with the per-phase critical-path decompositions.
+#pragma once
+
+#include <ostream>
+
+#include "machine/cost_model.hpp"
+#include "machine/trace.hpp"
+
+namespace capsp {
+
+/// Write `trace` as Chrome trace-event JSON.  Optional critical-path
+/// reports (latency and/or bandwidth axis) are embedded as metadata under
+/// the "capsp" top-level key, where scripts/trace_summary.py reads them.
+void write_chrome_trace(std::ostream& out, const Trace& trace,
+                        const CriticalPathReport* latency_path = nullptr,
+                        const CriticalPathReport* bandwidth_path = nullptr);
+
+/// Write `report` as a JSON object: headline scalars, per-phase volumes
+/// (post-reset and setup segments), and — when the paths are supplied —
+/// the critical-path per-phase cost segments, whose values sum to
+/// critical_latency / critical_bandwidth respectively.
+void write_cost_report_json(
+    std::ostream& out, const CostReport& report,
+    const CriticalPathReport* latency_path = nullptr,
+    const CriticalPathReport* bandwidth_path = nullptr);
+
+}  // namespace capsp

@@ -1,0 +1,124 @@
+// Minimal streaming JSON emission (no parsing, no dependencies).
+//
+// The observability layer (docs/observability.md) exports traces and cost
+// reports as JSON for external tooling — chrome://tracing / Perfetto for
+// the event timelines, scripts for the bench records.  Everything emitted
+// here must round-trip through a strict parser (CI pipes the outputs
+// through `python3 -m json.tool`), so the writer escapes strings, prints
+// doubles with round-trip precision, and maps non-finite values to null.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace capsp {
+
+/// Escape `s` for inclusion inside a JSON string literal (the surrounding
+/// quotes are not added).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming writer with automatic comma placement.  Nesting is tracked
+/// only to know whether a separator is due; well-formedness (balanced
+/// begin/end, keys only inside objects) is the caller's responsibility,
+/// with CHECKs on the mistakes that are cheap to detect.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(const std::string& name) {
+    separate();
+    out_ << '"' << json_escape(name) << "\":";
+    pending_key_ = true;
+  }
+
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ << "null";  // JSON has no Infinity/NaN
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+  }
+  void value(std::int64_t v) { separate(); out_ << v; }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::size_t v) { separate(); out_ << v; }
+  void value(bool v) { separate(); out_ << (v ? "true" : "false"); }
+  void value(const std::string& v) {
+    separate();
+    out_ << '"' << json_escape(v) << '"';
+  }
+  void value(const char* v) { value(std::string(v)); }
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void field(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void open(char bracket) {
+    separate();
+    out_ << bracket;
+    first_.push_back(true);
+  }
+  void close(char bracket) {
+    CAPSP_CHECK_MSG(!first_.empty(), "JSON close without open");
+    CAPSP_CHECK_MSG(!pending_key_, "JSON key without value");
+    first_.pop_back();
+    out_ << bracket;
+  }
+  /// Emit the comma due before a sibling value/key, if any.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;  // value directly follows its key
+      return;
+    }
+    if (first_.empty()) return;  // top-level value
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+  }
+
+  std::ostream& out_;
+  std::vector<bool> first_;  // per nesting level: no sibling emitted yet
+  bool pending_key_ = false;
+};
+
+}  // namespace capsp

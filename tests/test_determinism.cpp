@@ -73,6 +73,58 @@ TEST(Determinism, WholePipelineTwiceBitIdentical) {
   }
 }
 
+TEST(Determinism, TracedRunsProduceIdenticalTimelines) {
+  // Tracing (docs/observability.md) must be as deterministic as the
+  // costs: two identical traced runs record identical per-rank event
+  // timelines, field for field.
+  Rng rng(9);
+  const Graph graph = make_random_geometric(70, 0.2, rng);
+  SparseApspOptions options;
+  options.height = 3;
+  options.collect_distances = false;
+  options.trace = true;
+  const SparseApspResult a = run_sparse_apsp(graph, options);
+  const SparseApspResult b = run_sparse_apsp(graph, options);
+  ASSERT_TRUE(a.trace.enabled());
+  EXPECT_GT(a.trace.num_events(), 0u);
+  ASSERT_EQ(a.trace.per_rank.size(), b.trace.per_rank.size());
+  for (std::size_t r = 0; r < a.trace.per_rank.size(); ++r) {
+    const auto& ta = a.trace.per_rank[r];
+    const auto& tb = b.trace.per_rank[r];
+    ASSERT_EQ(ta.size(), tb.size()) << "rank " << r;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      const TraceEvent& ea = ta[i];
+      const TraceEvent& eb = tb[i];
+      ASSERT_EQ(ea.kind, eb.kind) << "rank " << r << " event " << i;
+      EXPECT_EQ(ea.phase, eb.phase);
+      EXPECT_EQ(ea.label, eb.label);
+      EXPECT_EQ(ea.peer, eb.peer);
+      EXPECT_EQ(ea.tag, eb.tag);
+      EXPECT_EQ(ea.words, eb.words);
+      EXPECT_EQ(ea.ops, eb.ops);
+      EXPECT_EQ(ea.before.latency, eb.before.latency);
+      EXPECT_EQ(ea.before.words, eb.before.words);
+      EXPECT_EQ(ea.after.latency, eb.after.latency);
+      EXPECT_EQ(ea.after.words, eb.after.words);
+      EXPECT_EQ(ea.peer_event, eb.peer_event);
+      EXPECT_EQ(ea.latency_from_message, eb.latency_from_message);
+      EXPECT_EQ(ea.words_from_message, eb.words_from_message);
+    }
+  }
+  // And the critical-path walk over them is reproducible too.
+  const CriticalPathReport pa = extract_critical_path(a.trace,
+                                                      CostAxis::kLatency);
+  const CriticalPathReport pb = extract_critical_path(b.trace,
+                                                      CostAxis::kLatency);
+  EXPECT_EQ(pa.total, pb.total);
+  ASSERT_EQ(pa.hops.size(), pb.hops.size());
+  for (std::size_t i = 0; i < pa.hops.size(); ++i) {
+    EXPECT_EQ(pa.hops[i].src, pb.hops[i].src);
+    EXPECT_EQ(pa.hops[i].dst, pb.hops[i].dst);
+    EXPECT_EQ(pa.hops[i].tag, pb.hops[i].tag);
+  }
+}
+
 TEST(Determinism, DistributedNdTrafficBitIdentical) {
   Rng rng(10);
   const Graph graph = make_grid2d(12, 12, rng);

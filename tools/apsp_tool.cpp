@@ -15,10 +15,18 @@
 //       print the shortest path between two vertices (cached matrix)
 //   apsp_tool --mode gen --graph rmat --n 512 --out g.txt
 //       write a generated instance to a file
+//   apsp_tool --mode solve --graph grid --n 256 --trace t.json
+//             --report-json r.json
+//       also record the event trace (load t.json in ui.perfetto.dev or
+//       feed it to scripts/trace_summary.py) and the machine-readable
+//       cost report — see docs/observability.md
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "capsp.hpp"
+#include "machine/trace_export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -85,9 +93,44 @@ int mode_partition(const Cli& cli, Rng& rng) {
   return 0;
 }
 
+/// Write the --trace / --report-json artifacts for a traced (or plain)
+/// sparse-family run.  The critical-path decompositions ride along in
+/// both files when a trace is available.
+void write_observability(const Cli& cli, const SparseApspResult& result) {
+  const std::string trace_path = cli.get_string("trace", "");
+  const std::string report_path = cli.get_string("report-json", "");
+  std::optional<CriticalPathReport> latency, bandwidth;
+  if (result.trace.enabled()) {
+    latency = extract_critical_path(result.trace, CostAxis::kLatency);
+    bandwidth = extract_critical_path(result.trace, CostAxis::kBandwidth);
+  }
+  const CriticalPathReport* lat = latency ? &*latency : nullptr;
+  const CriticalPathReport* bw = bandwidth ? &*bandwidth : nullptr;
+  if (!trace_path.empty()) {
+    CAPSP_CHECK_MSG(result.trace.enabled(),
+                    "--trace requires a traced run");
+    std::ofstream out(trace_path);
+    CAPSP_CHECK_MSG(out, "cannot write --trace file " << trace_path);
+    write_chrome_trace(out, result.trace, lat, bw);
+    std::cout << "wrote event trace (" << result.trace.num_events()
+              << " events) to " << trace_path << "\n";
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    CAPSP_CHECK_MSG(out, "cannot write --report-json file " << report_path);
+    write_cost_report_json(out, result.costs, lat, bw);
+    std::cout << "wrote cost report to " << report_path << "\n";
+  }
+}
+
 int mode_solve(const Cli& cli, Rng& rng) {
   const Graph graph = build_graph(cli, rng);
   const std::string algorithm = cli.get_string("algorithm", "sparse");
+  const bool want_trace = !cli.get_string("trace", "").empty();
+  CAPSP_CHECK_MSG(!want_trace || algorithm == "sparse" ||
+                      algorithm == "bottleneck",
+                  "--trace is only supported for --algorithm "
+                  "sparse|bottleneck");
   std::cout << "graph: " << graph.num_vertices() << " vertices, "
             << graph.num_edges() << " edges\n";
   // --height 0 (the default "auto") picks a machine size for the graph.
@@ -101,12 +144,14 @@ int mode_solve(const Cli& cli, Rng& rng) {
   if (algorithm == "bottleneck") {
     SparseApspOptions options;
     options.height = height;
+    options.trace = want_trace;
     const SparseApspResult result = run_sparse_bottleneck(graph, options);
     std::cout << "distributed bottleneck (max,min) on p="
               << result.num_ranks
               << ": L=" << result.costs.critical_latency
               << " messages, B=" << result.costs.critical_bandwidth
               << " words\n";
+    write_observability(cli, result);
     Dist narrowest = kInf;
     for (Vertex u = 0; u < graph.num_vertices(); ++u)
       for (Vertex v = u + 1; v < graph.num_vertices(); ++v)
@@ -117,12 +162,14 @@ int mode_solve(const Cli& cli, Rng& rng) {
   if (algorithm == "sparse") {
     SparseApspOptions options;
     options.height = height;
+    options.trace = want_trace;
     const SparseApspResult result = run_sparse_apsp(graph, options);
     distances = result.distances;
     std::cout << "2D-SPARSE-APSP on p=" << result.num_ranks
               << ": L=" << result.costs.critical_latency
               << " messages, B=" << result.costs.critical_bandwidth
               << " words, |S|=" << result.separator_size << "\n";
+    write_observability(cli, result);
   } else if (algorithm == "dc") {
     const int q = static_cast<int>(cli.get_int("q", 4));
     const DistributedApspResult result = run_dc_apsp(graph, q);
@@ -131,6 +178,13 @@ int mode_solve(const Cli& cli, Rng& rng) {
               << ": L=" << result.costs.critical_latency
               << " messages, B=" << result.costs.critical_bandwidth
               << " words\n";
+    const std::string report_path = cli.get_string("report-json", "");
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      CAPSP_CHECK_MSG(out, "cannot write --report-json file " << report_path);
+      write_cost_report_json(out, result.costs);
+      std::cout << "wrote cost report to " << report_path << "\n";
+    }
   } else if (algorithm == "superfw") {
     const Dissection nd = nested_dissection(graph, height, rng);
     const SuperFwResult result = superfw_original_order(graph, nd);
