@@ -9,10 +9,53 @@ write_chrome_trace), pulls the critical-path decomposition the exporter
 embeds under the top-level "capsp" key, and prints the phases that
 contribute most to the end-to-end critical cost.  Exits non-zero when the
 file is not a capsp trace, so it doubles as a CI validator.
+
+Also understands the robustness artifacts (docs/robustness.md): a cost
+report JSON with "reliability"/"faults" sections prints the
+retransmission summary, and a deadlock report JSON (apsp_tool exit 3)
+prints the watchdog's blocked receives and wait cycle.
 """
 import argparse
 import json
 import sys
+
+
+def summarize_deadlock(report):
+    """Render a write_deadlock_report_json artifact; always exits 0 so the
+    summary pipeline can run on the post-mortem of a failed run."""
+    blocked = report.get("blocked", [])
+    print(f"DEADLOCK: watchdog fired after {report['budget_seconds']:g}s; "
+          f"{len(blocked)} blocked receive(s)")
+    for b in blocked:
+        print(f"  rank {b['rank']} <- (src {b['src']}, tag {b['tag']}) "
+              f"phase \"{b['phase']}\" clock (L={b['L']:g}, B={b['B']:g}) "
+              f"waited {b['waited_seconds']:.3f}s")
+    cycle = report.get("cycle", [])
+    if cycle:
+        print("  wait cycle: " + " -> ".join(str(r) for r in cycle + [cycle[0]]))
+    dead = report.get("dead_ranks", [])
+    if dead:
+        print("  dead ranks: " + " ".join(str(r) for r in dead))
+    return 0
+
+
+def summarize_robustness(record):
+    """Print the reliability/fault sections a cost report or trace may
+    carry (no-op for plain runs)."""
+    reliability = record.get("reliability")
+    if reliability:
+        print(f"\nreliability: {reliability['frames_sent']} frames sent, "
+              f"{reliability['retransmissions']} retransmissions, "
+              f"{reliability['corrupt_rejected']} corrupt rejected, "
+              f"{reliability['duplicates_dropped']} duplicates dropped, "
+              f"{reliability['reordered']} reordered")
+    faults = record.get("faults")
+    if faults:
+        print(f"injected faults: {faults['drops']} dropped, "
+              f"{faults['duplicates']} duplicated, "
+              f"{faults['corruptions']} corrupted, "
+              f"{faults['delays']} delayed, {faults['kills']} killed, "
+              f"{faults['stalls']} stalled")
 
 
 def main():
@@ -27,6 +70,21 @@ def main():
 
     with open(args.trace) as f:
         trace = json.load(f)
+
+    # A deadlock report (the watchdog's post-mortem) replaces the cost
+    # report when a run never finished; surface it instead of erroring.
+    if trace.get("deadlock"):
+        return summarize_deadlock(trace)
+
+    # A cost report JSON (apsp_tool --report-json) has no "capsp" key but
+    # may carry robustness sections worth surfacing.
+    if "capsp" not in trace and "critical_latency" in trace:
+        print(f"cost report: L={trace['critical_latency']:g} messages, "
+              f"B={trace['critical_bandwidth']:g} words, "
+              f"{trace['total_messages']} messages / "
+              f"{trace['total_words']} words total")
+        summarize_robustness(trace)
+        return 0
 
     capsp = trace.get("capsp")
     if capsp is None:

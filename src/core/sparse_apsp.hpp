@@ -65,6 +65,16 @@ struct SparseApspOptions {
   /// timelines land in SparseApspResult::trace.  Purely observational —
   /// the metered costs are bit-identical on or off.
   bool trace = false;
+  /// Inject faults per this plan during the run (docs/robustness.md).
+  /// Message faults need `reliable` to produce correct distances; a plan
+  /// with a kill ends in a DeadlockError carrying the watchdog's report.
+  std::optional<FaultPlan> fault_plan;
+  /// Route all machine traffic through the ReliableComm protocol layer;
+  /// the overhead lands in SparseApspResult::costs.
+  bool reliable = false;
+  /// Deadlock-watchdog budget in wall-clock seconds (0 = default: off,
+  /// or kDefaultFaultRecvTimeout when fault_plan is set).
+  double recv_timeout = 0;
 };
 
 struct SparseApspResult {

@@ -62,6 +62,58 @@ struct CostClock {
   }
 };
 
+/// Counters of the reliable-delivery layer (reliable.hpp), aggregated
+/// over ranks into CostReport::reliability.  All zeros unless the run
+/// used Machine::enable_reliable_transport.
+struct ReliabilityStats {
+  std::int64_t frames_sent = 0;      ///< physical transmissions (incl. retries)
+  std::int64_t retransmissions = 0;  ///< frames_sent beyond the first attempt
+  std::int64_t acks = 0;             ///< link-layer acks charged
+  std::int64_t duplicates_dropped = 0;  ///< stale frames discarded by seq
+  std::int64_t corrupt_rejected = 0;    ///< frames failing the checksum
+  std::int64_t reordered = 0;           ///< early frames buffered for order
+  std::int64_t give_ups = 0;  ///< sends that exhausted max_retries (fatal)
+
+  ReliabilityStats& operator+=(const ReliabilityStats& o) {
+    frames_sent += o.frames_sent;
+    retransmissions += o.retransmissions;
+    acks += o.acks;
+    duplicates_dropped += o.duplicates_dropped;
+    corrupt_rejected += o.corrupt_rejected;
+    reordered += o.reordered;
+    give_ups += o.give_ups;
+    return *this;
+  }
+  bool any() const {
+    return frames_sent || retransmissions || acks || duplicates_dropped ||
+           corrupt_rejected || reordered || give_ups;
+  }
+};
+
+/// Faults a FaultInjector (fault.hpp) actually injected during a run,
+/// aggregated into CostReport::faults.  All zeros without a FaultPlan.
+struct FaultCounts {
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t corruptions = 0;
+  std::int64_t delays = 0;
+  std::int64_t kills = 0;
+  std::int64_t stalls = 0;
+
+  FaultCounts& operator+=(const FaultCounts& o) {
+    drops += o.drops;
+    duplicates += o.duplicates;
+    corruptions += o.corruptions;
+    delays += o.delays;
+    kills += o.kills;
+    stalls += o.stalls;
+    return *this;
+  }
+  bool any() const {
+    return drops || duplicates || corruptions || delays || kills || stalls;
+  }
+};
+
 /// Message/word volume counted at the sender, per algorithm phase.
 struct PhaseVolume {
   std::int64_t messages = 0;
@@ -118,6 +170,10 @@ struct CostReport {
   std::map<std::string, PhaseVolume> setup_phase_total;
   std::int64_t setup_messages = 0;
   std::int64_t setup_words = 0;
+  /// Reliable-transport counters and injected-fault totals, filled in by
+  /// Machine::run after aggregate() (all zeros for plain runs).
+  ReliabilityStats reliability;
+  FaultCounts faults;
 
   /// Build from the final per-rank states.
   static CostReport aggregate(const std::vector<RankCost>& ranks);

@@ -1,5 +1,7 @@
 #include "machine/machine.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <map>
@@ -11,6 +13,8 @@
 namespace capsp {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
 
 struct Message {
   std::vector<Dist> payload;
@@ -68,10 +72,105 @@ class Mailbox {
   bool aborted_ = false;
 };
 
+/// A frame a kDelay fault held back; delivered by Comm::flush_delayed().
+struct DelayedFrame {
+  RankId dst = 0;
+  Tag tag = 0;
+  Message message;
+};
+
+/// Shared record of which ranks are blocked in raw_receive, polled by the
+/// watchdog thread.  Each rank writes only its own slot; the mutex makes
+/// the watchdog's snapshot consistent.
+class WaitRegistry {
+ public:
+  explicit WaitRegistry(int num_ranks)
+      : states_(static_cast<std::size_t>(num_ranks)) {}
+
+  void enter(RankId rank, RankId src, Tag tag, const CostClock& clock,
+             std::string phase) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    WaitState& s = states_[static_cast<std::size_t>(rank)];
+    s.blocked = true;
+    s.src = src;
+    s.tag = tag;
+    s.clock = clock;
+    s.phase = std::move(phase);
+    s.since = SteadyClock::now();
+  }
+
+  void leave(RankId rank) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_[static_cast<std::size_t>(rank)].blocked = false;
+  }
+
+  /// Age of the longest-blocked receive, in seconds (0 when none).
+  double max_wait_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = SteadyClock::now();
+    double max_wait = 0;
+    for (const WaitState& s : states_)
+      if (s.blocked) max_wait = std::max(max_wait, seconds_since(s, now));
+    return max_wait;
+  }
+
+  std::vector<BlockedRecv> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = SteadyClock::now();
+    std::vector<BlockedRecv> blocked;
+    for (std::size_t r = 0; r < states_.size(); ++r) {
+      const WaitState& s = states_[r];
+      if (!s.blocked) continue;
+      blocked.push_back({static_cast<RankId>(r), s.src, s.tag, s.clock,
+                         s.phase, seconds_since(s, now)});
+    }
+    return blocked;
+  }
+
+ private:
+  struct WaitState {
+    bool blocked = false;
+    RankId src = 0;
+    Tag tag = 0;
+    CostClock clock;
+    std::string phase;
+    SteadyClock::time_point since;
+  };
+
+  static double seconds_since(const WaitState& s,
+                              SteadyClock::time_point now) {
+    return std::chrono::duration<double>(now - s.since).count();
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<WaitState> states_;
+};
+
 }  // namespace
 
+/// Adapter giving ReliableComm's transport-agnostic state machine access
+/// to this rank's mailbox path (declared a friend of Comm).
+class CommLink final : public RawLink {
+ public:
+  explicit CommLink(Comm& comm) : comm_(comm) {}
+
+  bool transmit(RankId dst, Tag tag, std::span<const Dist> frame,
+                bool retransmit) override {
+    return comm_.transmit(dst, tag, frame, retransmit);
+  }
+  std::vector<Dist> receive(RankId src, Tag tag) override {
+    return comm_.raw_receive(src, tag);
+  }
+  void charge(double latency, double words, const char* label) override {
+    comm_.charge_protocol(latency, words, label);
+  }
+
+ private:
+  Comm& comm_;
+};
+
 struct Machine::Impl {
-  explicit Impl(int num_ranks, bool record_traffic) : mailboxes(num_ranks) {
+  Impl(int num_ranks, bool record_traffic) : mailboxes(num_ranks) {
     if (record_traffic) {
       const auto cells = static_cast<std::size_t>(num_ranks) *
                          static_cast<std::size_t>(num_ranks);
@@ -83,6 +182,13 @@ struct Machine::Impl {
   std::vector<Mailbox> mailboxes;
   // Each rank writes only its own row, so no synchronization is needed.
   TrafficMatrix traffic;
+  /// Present when a FaultPlan is set for this run.
+  std::unique_ptr<FaultInjector> injector;
+  /// Per-rank queues of frames a kDelay fault held back (each rank
+  /// touches only its own queue).
+  std::vector<std::vector<DelayedFrame>> delayed;
+  /// Present when the deadlock watchdog is armed for this run.
+  std::unique_ptr<WaitRegistry> waits;
 };
 
 Machine::Machine(int num_ranks)
@@ -96,16 +202,35 @@ Machine::~Machine() = default;
 
 int Comm::size() const { return machine_->size(); }
 
+void Comm::on_op() {
+  if (FaultInjector* injector = machine_->impl_->injector.get())
+    injector->on_op(rank_);
+}
+
 void Comm::send(RankId dst, Tag tag, std::span<const Dist> payload) {
   CAPSP_CHECK_MSG(dst >= 0 && dst < machine_->size(), "dst=" << dst);
   CAPSP_CHECK_MSG(dst != rank_, "self-send on rank " << rank_);
-  const auto words = static_cast<std::int64_t>(payload.size());
+  on_op();
+  if (reliable_) {
+    CommLink link(*this);
+    reliable_->send(link, dst, tag, payload);
+    return;
+  }
+  // Raw transport: fire and forget — a dropped or corrupted frame is the
+  // program's problem (that is what reliable transport is for).
+  transmit(dst, tag, payload, false);
+}
+
+bool Comm::transmit(RankId dst, Tag tag, std::span<const Dist> frame,
+                    bool retransmit) {
+  const auto words = static_cast<std::int64_t>(frame.size());
   std::int64_t src_event = -1;
   if (tracing_) {
     src_event = static_cast<std::int64_t>(trace_.size());
     TraceEvent event;
     event.kind = TraceEventKind::kSend;
     event.phase = cost_.current_phase;
+    if (retransmit) event.label = "retransmit";
     event.peer = dst;
     event.tag = tag;
     event.words = words;
@@ -124,19 +249,86 @@ void Comm::send(RankId dst, Tag tag, std::span<const Dist> payload) {
     ++traffic.messages[cell];
   }
   Message message;
-  message.payload.assign(payload.begin(), payload.end());
+  message.payload.assign(frame.begin(), frame.end());
   message.clock = cost_.clock;
   message.src_event = src_event;
-  machine_->impl_->mailboxes[static_cast<std::size_t>(dst)].put(
-      rank_, tag, std::move(message));
+
+  FaultInjector* injector = machine_->impl_->injector.get();
+  const FaultDecision decision =
+      injector ? injector->decide(rank_) : FaultDecision::kDeliver;
+  Mailbox& inbox = machine_->impl_->mailboxes[static_cast<std::size_t>(dst)];
+  bool delivered = true;
+  switch (decision) {
+    case FaultDecision::kDeliver:
+      inbox.put(rank_, tag, std::move(message));
+      break;
+    case FaultDecision::kDrop:
+      delivered = false;  // the frame vanishes in the network
+      break;
+    case FaultDecision::kDuplicate: {
+      Message copy = message;
+      inbox.put(rank_, tag, std::move(message));
+      inbox.put(rank_, tag, std::move(copy));
+      break;
+    }
+    case FaultDecision::kCorrupt:
+      // The mangled frame still arrives — the receiver's checksum must
+      // catch it — but the link layer reports the damage to the sender.
+      injector->corrupt_payload(rank_, message.payload);
+      inbox.put(rank_, tag, std::move(message));
+      delivered = false;
+      break;
+    case FaultDecision::kDelay:
+      machine_->impl_->delayed[static_cast<std::size_t>(rank_)].push_back(
+          {dst, tag, std::move(message)});
+      break;
+  }
+  // Held-back frames go out after the next frame that was not itself
+  // delayed — that is what makes kDelay produce real reordering.
+  if (injector && decision != FaultDecision::kDelay) flush_delayed();
+  return delivered;
+}
+
+void Comm::flush_delayed() {
+  auto& queue = machine_->impl_->delayed[static_cast<std::size_t>(rank_)];
+  for (DelayedFrame& frame : queue)
+    machine_->impl_->mailboxes[static_cast<std::size_t>(frame.dst)].put(
+        rank_, frame.tag, std::move(frame.message));
+  queue.clear();
 }
 
 std::vector<Dist> Comm::recv(RankId src, Tag tag) {
   CAPSP_CHECK_MSG(src >= 0 && src < machine_->size(), "src=" << src);
   CAPSP_CHECK_MSG(src != rank_, "self-recv on rank " << rank_);
-  Message message =
-      machine_->impl_->mailboxes[static_cast<std::size_t>(rank_)].take(src,
-                                                                       tag);
+  on_op();
+  if (reliable_) {
+    CommLink link(*this);
+    return reliable_->recv(link, src, tag);
+  }
+  return raw_receive(src, tag);
+}
+
+std::vector<Dist> Comm::raw_receive(RankId src, Tag tag) {
+  Machine::Impl& impl = *machine_->impl_;
+  // Deliver anything this rank delayed before it can block on a peer —
+  // otherwise a held-back frame could deadlock the schedule.
+  if (impl.injector) flush_delayed();
+
+  Message message;
+  if (WaitRegistry* waits = impl.waits.get()) {
+    waits->enter(rank_, src, tag, cost_.clock, cost_.current_phase);
+    try {
+      message =
+          impl.mailboxes[static_cast<std::size_t>(rank_)].take(src, tag);
+    } catch (...) {
+      waits->leave(rank_);
+      throw;
+    }
+    waits->leave(rank_);
+  } else {
+    message = impl.mailboxes[static_cast<std::size_t>(rank_)].take(src, tag);
+  }
+
   // Receiving serializes on this rank (+1 message, +w words), but
   // concurrent disjoint transfers merge via max — see cost_model.hpp.
   const CostClock before = cost_.clock;
@@ -159,12 +351,29 @@ std::vector<Dist> Comm::recv(RankId src, Tag tag) {
   return std::move(message.payload);
 }
 
+void Comm::charge_protocol(double latency, double words, const char* label) {
+  if (tracing_) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kProtocol;
+    event.phase = cost_.current_phase;
+    event.label = label;
+    event.before = cost_.clock;
+    trace_.push_back(std::move(event));
+  }
+  cost_.clock.advance(latency, words);
+  if (tracing_) trace_.back().after = cost_.clock;
+}
+
 DistBlock Comm::recv_block(RankId src, Tag tag, std::int64_t rows,
                            std::int64_t cols) {
   auto payload = recv(src, tag);
   CAPSP_CHECK_MSG(static_cast<std::int64_t>(payload.size()) == rows * cols,
-                  "block payload " << payload.size() << " != " << rows << "x"
-                                   << cols);
+                  "block payload from (src " << src << ", tag " << tag
+                                             << ") on rank " << rank_
+                                             << " has " << payload.size()
+                                             << " words, expected " << rows
+                                             << "x" << cols << " = "
+                                             << rows * cols);
   DistBlock block(rows, cols);
   std::copy(payload.begin(), payload.end(), block.data().begin());
   return block;
@@ -173,25 +382,78 @@ DistBlock Comm::recv_block(RankId src, Tag tag, std::int64_t rows,
 void Machine::run(const std::function<void(Comm&)>& program) {
   // Fresh mailboxes so a failed/aborted previous run cannot leak messages,
   // and cleared observability state so a failed run cannot leave a stale
-  // traffic matrix or trace from the previous run.
+  // traffic matrix, trace, or deadlock report from the previous run.
   impl_ = std::make_unique<Impl>(num_ranks_, record_traffic_);
   traffic_ = TrafficMatrix{};
   trace_ = Trace{};
+  deadlock_.reset();
+
+  const bool faulty = fault_plan_ && !fault_plan_->empty();
+  if (faulty) {
+    impl_->injector = std::make_unique<FaultInjector>(*fault_plan_,
+                                                      num_ranks_);
+    impl_->delayed.resize(static_cast<std::size_t>(num_ranks_));
+  }
+  double budget = recv_timeout_;
+  if (budget <= 0 && faulty) budget = kDefaultFaultRecvTimeout;
+  if (budget > 0) impl_->waits = std::make_unique<WaitRegistry>(num_ranks_);
 
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(num_ranks_));
   for (RankId r = 0; r < num_ranks_; ++r)
     comms.push_back(Comm(this, r, tracing_));
+  if (reliable_transport_)
+    for (Comm& comm : comms)
+      comm.reliable_ = std::make_unique<ReliableComm>(reliable_options_);
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(num_ranks_));
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
+  // The watchdog supervises blocked receives: past the budget it snapshots
+  // the wait-for graph into deadlock_ and aborts every mailbox so the run
+  // unwinds (docs/robustness.md).
+  std::thread watchdog;
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  bool watchdog_stop = false;
+  if (budget > 0) {
+    watchdog = std::thread([&, budget] {
+      const auto poll =
+          std::chrono::duration<double>(std::min(budget / 8, 0.05));
+      std::unique_lock<std::mutex> lock(watchdog_mutex);
+      while (!watchdog_cv.wait_for(lock, poll, [&] { return watchdog_stop; })) {
+        if (impl_->waits->max_wait_seconds() < budget) continue;
+        {
+          // A rank already failed: its abort is unwinding the machine —
+          // that error, not a deadlock report, should surface.
+          std::lock_guard<std::mutex> error_lock(error_mutex);
+          if (first_error) return;
+        }
+        DeadlockReport report;
+        report.budget_seconds = budget;
+        report.blocked = impl_->waits->snapshot();
+        report.cycle = find_wait_cycle(report.blocked);
+        if (impl_->injector) report.dead = impl_->injector->dead_ranks();
+        deadlock_ = std::move(report);
+        for (Mailbox& mailbox : impl_->mailboxes) mailbox.abort();
+        return;
+      }
+    });
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (RankId r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([&, r] {
+      Comm& comm = comms[static_cast<std::size_t>(r)];
       try {
-        program(comms[static_cast<std::size_t>(r)]);
+        program(comm);
+        // A finished rank still owes its delayed frames to the network.
+        if (impl_->injector) comm.flush_delayed();
+      } catch (const RankKilledError&) {
+        // The plan killed this rank: its thread exits without aborting
+        // the machine, exactly as a crashed process looks to survivors —
+        // they block on its messages until the watchdog calls it.
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -202,22 +464,42 @@ void Machine::run(const std::function<void(Comm&)>& program) {
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex);
+      watchdog_stop = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
 
-  // Every message sent must have been received — a leftover means the
-  // schedule was inconsistent across ranks.
-  for (RankId r = 0; r < num_ranks_; ++r)
-    CAPSP_CHECK_MSG(impl_->mailboxes[static_cast<std::size_t>(r)].empty(),
-                    "undelivered messages in rank " << r << "'s mailbox");
-
+  // Aggregate observability state before any throw: a deadlocked or
+  // failed run still leaves its post-mortem (partial costs, traffic,
+  // traces, fault/reliability counters) readable.
   std::vector<RankCost> costs;
   costs.reserve(comms.size());
   for (const auto& comm : comms) costs.push_back(comm.cost());
   report_ = CostReport::aggregate(costs);
+  for (const Comm& comm : comms)
+    if (comm.reliable_) report_.reliability += comm.reliable_->stats();
+  if (impl_->injector) report_.faults = impl_->injector->counts();
   traffic_ = std::move(impl_->traffic);
   if (tracing_) {
     trace_.per_rank.reserve(comms.size());
     for (auto& comm : comms) trace_.per_rank.push_back(std::move(comm.trace_));
+  }
+
+  if (deadlock_) throw DeadlockError(*deadlock_);
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Every message sent must have been received — a leftover means the
+  // schedule was inconsistent across ranks.  Fault plans legitimately
+  // leave residue (e.g. the duplicate of a stream's final frame), so the
+  // check only applies to clean transports.
+  if (!impl_->injector) {
+    for (RankId r = 0; r < num_ranks_; ++r)
+      CAPSP_CHECK_MSG(impl_->mailboxes[static_cast<std::size_t>(r)].empty(),
+                      "undelivered messages in rank " << r << "'s mailbox");
   }
 }
 

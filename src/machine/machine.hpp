@@ -10,23 +10,35 @@
 // arrives.  Deadlock-freedom is the program's responsibility; the
 // algorithms here derive every rank's operation sequence from one global
 // schedule, which makes the communication graph acyclic by construction.
+// For runs that deliberately break these guarantees — fault injection
+// (fault.hpp), the deadlock watchdog (watchdog.hpp), and the reliable
+// transport (reliable.hpp) — see docs/robustness.md.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "machine/cost_model.hpp"
+#include "machine/fault.hpp"
+#include "machine/reliable.hpp"
 #include "machine/trace.hpp"
+#include "machine/watchdog.hpp"
 #include "semiring/block.hpp"
 #include "util/check.hpp"
 
 namespace capsp {
 
 class Machine;
+class CommLink;
+
+/// Watchdog budget used when a FaultPlan is set but no explicit
+/// Machine::set_recv_timeout was given: fault runs must never hang.
+inline constexpr double kDefaultFaultRecvTimeout = 2.0;
 
 /// Per-rank communication handle, passed to the SPMD program.  Not
 /// thread-safe across ranks (each rank uses only its own Comm).
@@ -111,6 +123,7 @@ class Comm {
 
  private:
   friend class Machine;
+  friend class CommLink;
   Comm(Machine* machine, RankId rank, bool tracing)
       : machine_(machine), rank_(rank), tracing_(tracing) {}
 
@@ -123,11 +136,39 @@ class Comm {
     trace_.push_back(std::move(event));
   }
 
+  /// Count one logical operation against the FaultInjector, which may
+  /// stall this rank or throw RankKilledError.  No-op without a plan.
+  void on_op();
+
+  /// One physical transmission through the (possibly faulty) network:
+  /// meters the frame through the cost model, asks the injector for its
+  /// fate, and delivers accordingly.  Returns the link-layer ack — false
+  /// when the frame was dropped or arrived corrupted (the reliable layer
+  /// retries on false; the raw path ignores it).
+  bool transmit(RankId dst, Tag tag, std::span<const Dist> frame,
+                bool retransmit);
+
+  /// Blocking receive of the next physical frame on (src, tag), metered
+  /// as today; registers with the watchdog's wait registry while blocked
+  /// and flushes this rank's delayed frames before it can block.
+  std::vector<Dist> raw_receive(RankId src, Tag tag);
+
+  /// Reliability-protocol clock charge (acks, backoff): moves the logical
+  /// clock and records a kProtocol trace event, but counts no message
+  /// volume (no frame crosses the network).
+  void charge_protocol(double latency, double words, const char* label);
+
+  /// Deliver every frame a kDelay fault held back on this rank.
+  void flush_delayed();
+
   Machine* machine_;
   RankId rank_;
   bool tracing_;
   RankCost cost_;
   std::vector<TraceEvent> trace_;  // this rank's timeline (if tracing)
+  /// Present when the machine runs with reliable transport; owns this
+  /// rank's sequence/reorder state and reliability counters.
+  std::unique_ptr<ReliableComm> reliable_;
 };
 
 /// Aggregated rank-pair traffic of one run (optional recording).
@@ -186,6 +227,37 @@ class Machine {
   void enable_tracing(bool enabled) { tracing_ = enabled; }
   bool tracing_enabled() const { return tracing_; }
 
+  /// Inject faults per `plan` during subsequent run()s (docs/robustness.md).
+  /// A non-empty plan with no explicit recv timeout arms the deadlock
+  /// watchdog with kDefaultFaultRecvTimeout so an unsurvivable plan
+  /// terminates with a DeadlockReport instead of hanging.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  void clear_fault_plan() { fault_plan_.reset(); }
+  const FaultPlan* fault_plan() const {
+    return fault_plan_ ? &*fault_plan_ : nullptr;
+  }
+
+  /// Arm the deadlock watchdog: when any rank blocks in recv for more
+  /// than `seconds` of wall-clock time, the run is aborted and run()
+  /// throws a DeadlockError carrying a structured DeadlockReport.
+  /// 0 disables (the default, unless a fault plan is set).  Pick a budget
+  /// larger than any stall fault in the plan.
+  void set_recv_timeout(double seconds) { recv_timeout_ = seconds; }
+
+  /// Route all sends/receives through the ReliableComm protocol layer
+  /// (reliable.hpp) during subsequent run()s, so the program survives any
+  /// message-fault plan; the overhead lands in the cost report.
+  void enable_reliable_transport(bool enabled) { reliable_transport_ = enabled; }
+  void set_reliable_options(const ReliableOptions& options) {
+    reliable_options_ = options;
+  }
+
+  /// The watchdog's snapshot when the most recent run() deadlocked
+  /// (the same report the DeadlockError carried); nullptr otherwise.
+  const DeadlockReport* deadlock_report() const {
+    return deadlock_ ? &*deadlock_ : nullptr;
+  }
+
   /// Execute `program` on every rank concurrently; returns when all ranks
   /// finish.  If any rank throws, the first exception is rethrown here
   /// (after all threads have been joined).
@@ -217,6 +289,11 @@ class Machine {
   int num_ranks_;
   bool record_traffic_ = false;
   bool tracing_ = false;
+  bool reliable_transport_ = false;
+  double recv_timeout_ = 0;
+  std::optional<FaultPlan> fault_plan_;
+  ReliableOptions reliable_options_;
+  std::optional<DeadlockReport> deadlock_;
   std::unique_ptr<Impl> impl_;
   CostReport report_;
   TrafficMatrix traffic_;

@@ -35,6 +35,7 @@ enum class TraceEventKind : std::uint8_t {
   kSpanEnd,     ///< structured region end, paired with kSpanBegin
   kPhase,       ///< phase label change (label = new phase)
   kClockReset,  ///< Comm::reset_clock(): critical paths start here
+  kProtocol,    ///< reliability-layer charge (label = "ack"/"backoff")
 };
 
 /// One recorded event on one rank's timeline.

@@ -126,6 +126,13 @@ void write_rank_events(JsonWriter& json, RankId rank,
         json.field("s", "t");
         json.end_object();
         break;
+      case TraceEventKind::kProtocol:
+        event_header(json, e.label.empty() ? "protocol" : e.label.c_str(),
+                     "protocol", "i", rank, ts);
+        json.field("s", "t");
+        clock_args(json, e);
+        json.end_object();
+        break;
       case TraceEventKind::kPhase:
         break;  // rendered as slices above
     }
@@ -203,10 +210,68 @@ void write_cost_report_json(std::ostream& out, const CostReport& report,
   write_phase_volumes(json, "phase_total", report.phase_total);
   write_phase_volumes(json, "phase_max_rank", report.phase_max_rank);
   write_phase_volumes(json, "setup_phase_total", report.setup_phase_total);
+  // Only fault/reliable runs emit these, so plain reports are unchanged.
+  if (report.reliability.any()) {
+    const ReliabilityStats& s = report.reliability;
+    json.key("reliability");
+    json.begin_object();
+    json.field("frames_sent", s.frames_sent);
+    json.field("retransmissions", s.retransmissions);
+    json.field("acks", s.acks);
+    json.field("duplicates_dropped", s.duplicates_dropped);
+    json.field("corrupt_rejected", s.corrupt_rejected);
+    json.field("reordered", s.reordered);
+    json.field("give_ups", s.give_ups);
+    json.end_object();
+  }
+  if (report.faults.any()) {
+    const FaultCounts& f = report.faults;
+    json.key("faults");
+    json.begin_object();
+    json.field("drops", f.drops);
+    json.field("duplicates", f.duplicates);
+    json.field("corruptions", f.corruptions);
+    json.field("delays", f.delays);
+    json.field("kills", f.kills);
+    json.field("stalls", f.stalls);
+    json.end_object();
+  }
   if (latency_path != nullptr)
     write_by_phase(json, "critical_path_latency", *latency_path);
   if (bandwidth_path != nullptr)
     write_by_phase(json, "critical_path_bandwidth", *bandwidth_path);
+  json.end_object();
+  out << '\n';
+}
+
+void write_deadlock_report_json(std::ostream& out,
+                                const DeadlockReport& report) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("deadlock", true);
+  json.field("budget_seconds", report.budget_seconds);
+  json.key("blocked");
+  json.begin_array();
+  for (const BlockedRecv& b : report.blocked) {
+    json.begin_object();
+    json.field("rank", static_cast<std::int64_t>(b.rank));
+    json.field("src", static_cast<std::int64_t>(b.src));
+    json.field("tag", b.tag);
+    json.field("phase", b.phase);
+    json.field("L", b.clock.latency);
+    json.field("B", b.clock.words);
+    json.field("waited_seconds", b.waited_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("cycle");
+  json.begin_array();
+  for (RankId r : report.cycle) json.value(static_cast<std::int64_t>(r));
+  json.end_array();
+  json.key("dead_ranks");
+  json.begin_array();
+  for (RankId r : report.dead) json.value(static_cast<std::int64_t>(r));
+  json.end_array();
   json.end_object();
   out << '\n';
 }

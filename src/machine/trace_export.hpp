@@ -14,6 +14,7 @@
 
 #include "machine/cost_model.hpp"
 #include "machine/trace.hpp"
+#include "machine/watchdog.hpp"
 
 namespace capsp {
 
@@ -32,5 +33,12 @@ void write_cost_report_json(
     std::ostream& out, const CostReport& report,
     const CriticalPathReport* latency_path = nullptr,
     const CriticalPathReport* bandwidth_path = nullptr);
+
+/// Write a watchdog DeadlockReport as a JSON object ("deadlock": true,
+/// the blocked receives with their (L, B) clocks, the wait cycle, and the
+/// dead ranks).  apsp_tool writes this in place of the cost report when a
+/// run deadlocks, so scripts/trace_summary.py can surface it.
+void write_deadlock_report_json(std::ostream& out,
+                                const DeadlockReport& report);
 
 }  // namespace capsp

@@ -20,6 +20,11 @@
 //       also record the event trace (load t.json in ui.perfetto.dev or
 //       feed it to scripts/trace_summary.py) and the machine-readable
 //       cost report — see docs/observability.md
+//   apsp_tool --mode solve --graph grid --n 256
+//             --fault-plan seed=7,drop=0.05 --reliable --verify
+//       run under fault injection with the reliable transport; a plan
+//       that kills a rank ends with a DeadlockReport and exit code 3 —
+//       see docs/robustness.md (--recv-timeout tunes the watchdog)
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -93,6 +98,48 @@ int mode_partition(const Cli& cli, Rng& rng) {
   return 0;
 }
 
+/// Fill the robustness options (docs/robustness.md) shared by the
+/// sparse-family algorithms: --fault-plan <spec>, --reliable,
+/// --recv-timeout <seconds>.
+void apply_robustness_flags(const Cli& cli, SparseApspOptions& options) {
+  const std::string plan = cli.get_string("fault-plan", "");
+  if (!plan.empty()) options.fault_plan = FaultPlan::parse(plan);
+  options.reliable = cli.get_bool("reliable", false);
+  options.recv_timeout = cli.get_double("recv-timeout", 0);
+}
+
+/// A run the watchdog declared dead: print the structured report, write
+/// it as JSON where the cost report would have gone, exit code 3.
+int report_deadlock(const Cli& cli, const DeadlockReport& report) {
+  std::cerr << report.to_string();
+  const std::string report_path = cli.get_string("report-json", "");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    CAPSP_CHECK_MSG(out, "cannot write --report-json file " << report_path);
+    write_deadlock_report_json(out, report);
+    std::cerr << "wrote deadlock report to " << report_path << "\n";
+  }
+  return 3;
+}
+
+/// One-line robustness summary after a fault/reliable run.
+void print_robustness(const SparseApspResult& result) {
+  const FaultCounts& f = result.costs.faults;
+  if (f.any()) {
+    std::cout << "faults injected: " << f.drops << " dropped, "
+              << f.duplicates << " duplicated, " << f.corruptions
+              << " corrupted, " << f.delays << " delayed\n";
+  }
+  const ReliabilityStats& s = result.costs.reliability;
+  if (s.any()) {
+    std::cout << "reliability: " << s.frames_sent << " frames ("
+              << s.retransmissions << " retransmissions), "
+              << s.corrupt_rejected << " rejected corrupt, "
+              << s.duplicates_dropped << " duplicates dropped, "
+              << s.reordered << " reordered\n";
+  }
+}
+
 /// Write the --trace / --report-json artifacts for a traced (or plain)
 /// sparse-family run.  The critical-path decompositions ride along in
 /// both files when a trace is available.
@@ -145,12 +192,19 @@ int mode_solve(const Cli& cli, Rng& rng) {
     SparseApspOptions options;
     options.height = height;
     options.trace = want_trace;
-    const SparseApspResult result = run_sparse_bottleneck(graph, options);
+    apply_robustness_flags(cli, options);
+    SparseApspResult result;
+    try {
+      result = run_sparse_bottleneck(graph, options);
+    } catch (const DeadlockError& e) {
+      return report_deadlock(cli, e.report);
+    }
     std::cout << "distributed bottleneck (max,min) on p="
               << result.num_ranks
               << ": L=" << result.costs.critical_latency
               << " messages, B=" << result.costs.critical_bandwidth
               << " words\n";
+    print_robustness(result);
     write_observability(cli, result);
     Dist narrowest = kInf;
     for (Vertex u = 0; u < graph.num_vertices(); ++u)
@@ -163,12 +217,19 @@ int mode_solve(const Cli& cli, Rng& rng) {
     SparseApspOptions options;
     options.height = height;
     options.trace = want_trace;
-    const SparseApspResult result = run_sparse_apsp(graph, options);
+    apply_robustness_flags(cli, options);
+    SparseApspResult result;
+    try {
+      result = run_sparse_apsp(graph, options);
+    } catch (const DeadlockError& e) {
+      return report_deadlock(cli, e.report);
+    }
     distances = result.distances;
     std::cout << "2D-SPARSE-APSP on p=" << result.num_ranks
               << ": L=" << result.costs.critical_latency
               << " messages, B=" << result.costs.critical_bandwidth
               << " words, |S|=" << result.separator_size << "\n";
+    print_robustness(result);
     write_observability(cli, result);
   } else if (algorithm == "dc") {
     const int q = static_cast<int>(cli.get_int("q", 4));
