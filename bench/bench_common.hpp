@@ -84,6 +84,13 @@ class BenchJson {
       record.emplace_back("total_words", costs->total_words);
       record.emplace_back("max_rank_messages", costs->max_rank_messages);
       record.emplace_back("max_rank_words", costs->max_rank_words);
+      if (costs->oracle.present) {
+        record.emplace_back("oracle_model", costs->oracle.model);
+        record.emplace_back("oracle_bandwidth_ratio",
+                            costs->oracle.bandwidth_ratio);
+        record.emplace_back("oracle_latency_ratio",
+                            costs->oracle.latency_ratio);
+      }
     }
     records_.push_back(std::move(record));
   }

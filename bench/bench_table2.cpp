@@ -11,6 +11,7 @@
 
 #include "baseline/dc_apsp.hpp"
 #include "bench_common.hpp"
+#include "core/cost_oracle.hpp"
 #include "core/sparse_apsp.hpp"
 #include "util/timer.hpp"
 
@@ -36,7 +37,9 @@ void run(Vertex n_target) {
     const SparseApspResult sparse = run_sparse_apsp(graph, options);
 
     const int q = 1 << (h - 1);  // nearest power of two to √p = 2^h - 1
-    const DistributedApspResult dc = run_dc_apsp(graph, q);
+    DistributedApspResult dc = run_dc_apsp(graph, q);
+    attach_oracle(dc.costs, predict_dc_apsp(static_cast<double>(n),
+                                            static_cast<double>(q) * q));
     const auto m_dc = static_cast<std::int64_t>(
         std::ceil(static_cast<double>(n) / q) *
         std::ceil(static_cast<double>(n) / q));
@@ -64,7 +67,11 @@ void run(Vertex n_target) {
          {"q_dc", q},
          {"m_dc", m_dc},
          {"b_dc", dc.costs.critical_bandwidth},
-         {"l_dc", dc.costs.critical_latency}},
+         {"l_dc", dc.costs.critical_latency},
+         // Predicted-vs-measured ratios for the baseline too (the sparse
+         // ratios ride in via the CostReport below).
+         {"dc_oracle_bandwidth_ratio", dc.costs.oracle.bandwidth_ratio},
+         {"dc_oracle_latency_ratio", dc.costs.oracle.latency_ratio}},
         &sparse.costs);
   }
   table.print(std::cout);

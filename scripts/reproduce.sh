@@ -3,21 +3,50 @@
 # experiment table, and leave the outputs in test_output.txt /
 # bench_output.txt at the repository root (the artifacts EXPERIMENTS.md
 # quotes from).
+#
+# --baseline: instead of the full reproduction, run every bench with
+# CAPSP_BENCH_JSON_DIR=bench/baselines to (re)generate the committed
+# regression baselines that `tools/bench_diff` and the CI bench-smoke job
+# gate against (docs/metrics.md).  Refresh deliberately — review the diff
+# of bench/baselines/ like any other behaviour change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode="full"
+if [ "${1:-}" = "--baseline" ]; then
+  mode="baseline"
+fi
 
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
-
-{
+run_benches() {
   for b in build/bench/*; do
+    # bench_kernels is a google-benchmark wall-clock binary: no BenchJson
+    # output and minutes of runtime, so baseline mode skips it.
+    if [ "$mode" = "baseline" ] && [ "$(basename "$b")" = "bench_kernels" ]; then
+      continue
+    fi
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "##### $(basename "$b")"
       "$b"
     fi
   done
+}
+
+if [ "$mode" = "baseline" ]; then
+  mkdir -p bench/baselines
+  CAPSP_BENCH_JSON_DIR="$PWD/bench/baselines" run_benches > /dev/null
+  ./build/tools/bench_diff --baseline bench/baselines \
+    --candidate bench/baselines --require-all
+  echo "done: refreshed bench/baselines/ ($(ls bench/baselines | wc -l) files)"
+  exit 0
+fi
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  run_benches
 } 2>&1 | tee bench_output.txt
 
 echo "done: see test_output.txt and bench_output.txt"

@@ -3,6 +3,7 @@
 
 Usage:
     python3 scripts/trace_summary.py trace.json [--top K] [--axis latency|bandwidth]
+    python3 scripts/trace_summary.py metrics metrics.json [--top K]
 
 Reads the trace JSON written by `apsp_tool --trace=<file>` (or
 write_chrome_trace), pulls the critical-path decomposition the exporter
@@ -58,7 +59,70 @@ def summarize_robustness(record):
               f"{faults['stalls']} stalled")
 
 
+def summarize_metrics(argv):
+    """The `metrics` subcommand: render an `apsp_tool --metrics-json` dump
+    (docs/metrics.md) — top-k counters, gauges, histogram percentiles, and
+    the cost-oracle predicted-vs-measured table when present."""
+    parser = argparse.ArgumentParser(
+        prog="trace_summary.py metrics",
+        description="Summarize an apsp_tool --metrics-json dump.")
+    parser.add_argument("metrics", help="metrics JSON from --metrics-json")
+    parser.add_argument("--top", type=int, default=15,
+                        help="number of counters to print (default 15)")
+    args = parser.parse_args(argv)
+
+    with open(args.metrics) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if metrics is None:
+        print(f"error: {args.metrics} has no 'metrics' key — not a metrics "
+              "dump", file=sys.stderr)
+        return 1
+
+    counters = {n: m["value"] for n, m in metrics.items()
+                if m["kind"] == "counter"}
+    gauges = {n: m["value"] for n, m in metrics.items()
+              if m["kind"] == "gauge"}
+    histograms = {n: m for n, m in metrics.items()
+                  if m["kind"] == "histogram"}
+    print(f"metrics: {len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(histograms)} histograms")
+
+    if counters:
+        ranked = sorted(counters.items(), key=lambda kv: -kv[1])
+        print(f"\ntop {min(args.top, len(ranked))} counters:")
+        for name, value in ranked[:args.top]:
+            print(f"  {name:<40} {value:>14,}")
+    if gauges:
+        print("\ngauges:")
+        for name, value in sorted(gauges.items()):
+            print(f"  {name:<40} {value:>14g}")
+    if histograms:
+        print("\nhistograms:")
+        print(f"  {'name':<40} {'count':>9} {'min':>8} {'mean':>10} "
+              f"{'p50':>8} {'p95':>8} {'max':>8}")
+        for name, h in sorted(histograms.items()):
+            print(f"  {name:<40} {h['count']:>9,} {h['min']:>8g} "
+                  f"{h['mean']:>10.4g} {h['p50']:>8g} {h['p95']:>8g} "
+                  f"{h['max']:>8g}")
+
+    oracle = doc.get("oracle")
+    if oracle:
+        print(f"\ncost oracle ({oracle['model']}): predicted vs measured")
+        print(f"  {'axis':<10} {'predicted':>14} {'measured':>14} "
+              f"{'ratio':>8}")
+        for axis in ("bandwidth", "latency"):
+            print(f"  {axis:<10} {oracle[f'predicted_{axis}']:>14.6g} "
+                  f"{oracle[f'measured_{axis}']:>14.6g} "
+                  f"{oracle[f'{axis}_ratio']:>8.3f}")
+    return 0
+
+
 def main():
+    # Subcommand dispatch keeps the original positional-trace CLI intact:
+    # only a literal first argument of "metrics" selects the new mode.
+    if len(sys.argv) > 1 and sys.argv[1] == "metrics":
+        return summarize_metrics(sys.argv[2:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace JSON from apsp_tool --trace")
     parser.add_argument("--top", type=int, default=10,

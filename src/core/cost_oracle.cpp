@@ -1,0 +1,78 @@
+#include "core/cost_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+/// log₂p, floored at 1 so the bounds stay positive on degenerate
+/// single-digit machines (p = 1 runs exist in tests).
+double log2p(double p) { return std::max(1.0, std::log2(p)); }
+
+}  // namespace
+
+CostPrediction predict_sparse_apsp(double n, double separator_size, double p) {
+  CAPSP_CHECK_MSG(n >= 0 && p >= 1 && separator_size >= 0,
+                  "predict_sparse_apsp(n=" << n << ", s=" << separator_size
+                                           << ", p=" << p << ")");
+  const double lg = log2p(p);
+  return {"2d-sparse-apsp",
+          (n * n / p + separator_size * separator_size) * lg * lg, lg * lg};
+}
+
+CostPrediction predict_dc_apsp(double n, double p) {
+  CAPSP_CHECK_MSG(n >= 0 && p >= 1, "predict_dc_apsp(n=" << n << ", p=" << p
+                                                         << ")");
+  const double lg = log2p(p);
+  return {"2d-dc-apsp", n * n * lg / std::sqrt(p), std::sqrt(p) * lg * lg};
+}
+
+CostPrediction predict_fw2d(double n, double p, double blocks_per_dim) {
+  CAPSP_CHECK_MSG(n >= 0 && p >= 1 && blocks_per_dim >= 1,
+                  "predict_fw2d(n=" << n << ", p=" << p
+                                    << ", b=" << blocks_per_dim << ")");
+  const double lg = log2p(p);
+  return {"fw2d", n * n * lg / std::sqrt(p), blocks_per_dim * lg};
+}
+
+void attach_oracle(CostReport& report, const CostPrediction& prediction) {
+  OracleComparison& oracle = report.oracle;
+  oracle.present = true;
+  oracle.model = prediction.model;
+  oracle.predicted_bandwidth = prediction.bandwidth;
+  oracle.predicted_latency = prediction.latency;
+  oracle.bandwidth_ratio =
+      prediction.bandwidth > 0 ? report.critical_bandwidth / prediction.bandwidth
+                               : 0.0;
+  oracle.latency_ratio =
+      prediction.latency > 0 ? report.critical_latency / prediction.latency
+                             : 0.0;
+}
+
+bool oracle_within(const CostReport& report, double factor) {
+  CAPSP_CHECK_MSG(report.oracle.present, "no oracle attached to this report");
+  CAPSP_CHECK_MSG(factor >= 1, "factor " << factor << " must be >= 1");
+  const auto within = [factor](double ratio) {
+    return ratio >= 1.0 / factor && ratio <= factor;
+  };
+  return within(report.oracle.bandwidth_ratio) &&
+         within(report.oracle.latency_ratio);
+}
+
+void check_oracle(const CostReport& report, double factor) {
+  CAPSP_CHECK_MSG(
+      oracle_within(report, factor),
+      "measured costs deviate from the " << report.oracle.model
+          << " oracle by more than " << factor
+          << "x: bandwidth_ratio=" << report.oracle.bandwidth_ratio
+          << " (measured " << report.critical_bandwidth << " vs predicted "
+          << report.oracle.predicted_bandwidth
+          << "), latency_ratio=" << report.oracle.latency_ratio
+          << " (measured " << report.critical_latency << " vs predicted "
+          << report.oracle.predicted_latency << ")");
+}
+
+}  // namespace capsp

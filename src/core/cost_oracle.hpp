@@ -1,0 +1,54 @@
+// Analytical cost oracle: the paper's closed-form W/S bounds evaluated
+// as concrete numbers, so measured CostReports can be checked against
+// theory (docs/metrics.md has the formula-to-paper mapping).
+//
+// Each predictor returns the bound *without* its asymptotic constant:
+//   2D-SPARSE-APSP (Thm. 5.10):  W = (n²/p + s²)·log₂²p,   S = log₂²p
+//   2D-DC-APSP     ([24]):       W = n²·log₂p/√p,          S = √p·log₂²p
+//   FW2D block-cyclic (Sec 5.1): W = n²·log₂p/√p,          S = b·log₂p
+// where s = |S| is the top separator size, p the rank count and b the
+// blocks-per-dimension of the cyclic layout.  A measured run therefore
+// lands within a *constant factor* of the prediction — the ratio fields
+// of CostReport::oracle make that factor observable, and
+// check_oracle(report, factor) makes it a test assertion.
+#pragma once
+
+#include <string>
+
+#include "machine/cost_model.hpp"
+
+namespace capsp {
+
+/// One evaluated bound: predicted bandwidth (words, the paper's W) and
+/// latency (messages, the paper's S) for a named cost model.
+struct CostPrediction {
+  std::string model;
+  double bandwidth = 0;
+  double latency = 0;
+};
+
+/// Thm. 5.10 bound for 2D-SPARSE-APSP on p = (2^h − 1)² ranks with top
+/// separator size s.
+CostPrediction predict_sparse_apsp(double n, double separator_size, double p);
+
+/// Solomonik et al. [24] bound for 2D-DC-APSP on a √p×√p grid.
+CostPrediction predict_dc_apsp(double n, double p);
+
+/// Block-cyclic 2D FW with `blocks_per_dim` blocks per dimension
+/// (Sec. 5.1's baseline; b = √p is the pure block layout, b = n the
+/// vertex-wise Jenq–Sahni pivoting).
+CostPrediction predict_fw2d(double n, double p, double blocks_per_dim);
+
+/// Fill `report.oracle` with the prediction and the measured/predicted
+/// ratios (ratios are 0 when the prediction degenerates to 0).
+void attach_oracle(CostReport& report, const CostPrediction& prediction);
+
+/// True iff both measured axes are within [predicted/factor,
+/// predicted·factor].  Requires an attached oracle.
+bool oracle_within(const CostReport& report, double factor);
+
+/// CHECK-throwing form of oracle_within, with a diagnostic naming the
+/// violated axis and the measured ratio.
+void check_oracle(const CostReport& report, double factor);
+
+}  // namespace capsp

@@ -5,8 +5,10 @@
 #include <mutex>
 #include <string>
 
+#include "core/cost_oracle.hpp"
 #include "core/regions.hpp"
 #include "machine/collectives.hpp"
+#include "util/metrics.hpp"
 #include "semiring/graph_matrix.hpp"
 #include "semiring/kernels.hpp"
 #include "semiring/semirings.hpp"
@@ -332,6 +334,8 @@ void sparse_apsp_rank(Comm& comm, const ApspLayout& layout, DistBlock& local,
     const std::int64_t ops_before = ctx.ops;
     update();
     comm.record_compute(ctx.ops - ops_before, label);
+    metrics().counter_add(std::string("core.sparse.ops_") + label,
+                          ctx.ops - ops_before);
   };
   for (int l = 1; l <= tree.height(); ++l) {
     const std::string prefix = "L" + std::to_string(l) + "/";
@@ -444,6 +448,13 @@ SparseApspResult run_sparse_apsp_semiring(const Graph& graph,
         std::max(result.costs.critical_bandwidth, clock.words);
   }
   result.max_block_words = max_block_words;
+  attach_oracle(result.costs,
+                predict_sparse_apsp(static_cast<double>(graph.num_vertices()),
+                                    static_cast<double>(result.separator_size),
+                                    static_cast<double>(p)));
+  metrics().gauge_set("core.sparse.height", result.height);
+  metrics().observe("core.sparse.separator_size",
+                    static_cast<double>(result.separator_size));
   if (options.trace) result.trace = machine.trace();
   result.clock_after_level.assign(static_cast<std::size_t>(nd.tree.height()),
                                   CostClock{});

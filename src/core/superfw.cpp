@@ -4,6 +4,7 @@
 
 #include "semiring/graph_matrix.hpp"
 #include "semiring/kernels.hpp"
+#include "util/metrics.hpp"
 
 namespace capsp {
 namespace {
@@ -76,7 +77,13 @@ SuperFwResult superfw(const Graph& reordered, const Dissection& nd) {
     }
     result.ops_per_level[static_cast<std::size_t>(l - 1)] =
         result.ops - ops_before_level;
+    metrics().observe(
+        "core.superfw.level_ops",
+        static_cast<double>(result.ops_per_level[static_cast<std::size_t>(
+            l - 1)]));
   }
+  metrics().counter_add("core.superfw.ops", result.ops);
+  metrics().counter_add("core.superfw.skipped_blocks", result.skipped_blocks);
   return result;
 }
 

@@ -1,11 +1,27 @@
 #include "machine/collectives.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "semiring/kernels.hpp"
+#include "util/metrics.hpp"
 
 namespace capsp {
 namespace {
+
+/// Fan-out depth of a k-member collective: rounds on the critical path —
+/// ⌈log₂k⌉ for the binomial tree, k for the scatter+ring pipeline.
+/// Recorded by the root only, so each collective counts once.
+void observe_collective(Comm& comm, RankId root, std::size_t k,
+                        CollectiveAlgorithm algorithm, const char* group_metric,
+                        const char* depth_metric) {
+  if (comm.rank() != root) return;
+  const double depth = algorithm == CollectiveAlgorithm::kPipelined
+                           ? static_cast<double>(k)
+                           : static_cast<double>(std::bit_width(k - 1));
+  metrics().observe(group_metric, static_cast<double>(k));
+  metrics().observe(depth_metric, depth);
+}
 
 /// Paired trace-span markers around a collective (no-op unless the
 /// machine is tracing), exception-safe via RAII.
@@ -156,6 +172,8 @@ void group_broadcast(Comm& comm, std::span<const RankId> group, RankId root,
                      CollectiveAlgorithm algorithm) {
   const std::size_t k = group.size();
   if (k <= 1) return;
+  observe_collective(comm, root, k, algorithm, "machine.collective.bcast_group",
+                     "machine.collective.bcast_depth");
   SpanGuard span(comm, "bcast");
   if (algorithm == CollectiveAlgorithm::kPipelined) {
     broadcast_pipelined(comm, group, root, block, tag);
@@ -189,6 +207,9 @@ void group_reduce(Comm& comm, std::span<const RankId> group, RankId root,
                   CollectiveAlgorithm algorithm) {
   const std::size_t k = group.size();
   if (k <= 1) return;
+  observe_collective(comm, root, k, algorithm,
+                     "machine.collective.reduce_group",
+                     "machine.collective.reduce_depth");
   SpanGuard span(comm, "reduce");
   if (algorithm == CollectiveAlgorithm::kPipelined) {
     reduce_pipelined(comm, group, root, block, tag, combine);

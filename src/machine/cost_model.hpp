@@ -114,6 +114,19 @@ struct FaultCounts {
   }
 };
 
+/// Predicted-vs-measured comparison against an analytical cost model
+/// (core/cost_oracle.hpp evaluates the paper's closed-form W/S bounds
+/// and fills this in via attach_oracle).  Plain data here so CostReport
+/// can carry it without the machine layer depending on any algorithm.
+struct OracleComparison {
+  bool present = false;
+  std::string model;                ///< e.g. "2d-sparse-apsp"
+  double predicted_bandwidth = 0;   ///< oracle W bound (words)
+  double predicted_latency = 0;     ///< oracle S bound (messages)
+  double bandwidth_ratio = 0;       ///< measured critical_bandwidth / predicted
+  double latency_ratio = 0;         ///< measured critical_latency / predicted
+};
+
 /// Message/word volume counted at the sender, per algorithm phase.
 struct PhaseVolume {
   std::int64_t messages = 0;
@@ -174,6 +187,9 @@ struct CostReport {
   /// Machine::run after aggregate() (all zeros for plain runs).
   ReliabilityStats reliability;
   FaultCounts faults;
+  /// Analytical-bound comparison, attached by drivers that know which
+  /// algorithm ran (present = false otherwise).
+  OracleComparison oracle;
 
   /// Build from the final per-rank states.
   static CostReport aggregate(const std::vector<RankCost>& ranks);

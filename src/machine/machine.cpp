@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/metrics.hpp"
+
 namespace capsp {
 
 namespace {
@@ -240,6 +242,15 @@ bool Comm::transmit(RankId dst, Tag tag, std::span<const Dist> frame,
   cost_.clock.advance(1, static_cast<double>(words));
   if (tracing_) trace_.back().after = cost_.clock;
   cost_.count_send(words);
+  {
+    // Rank threads run under a per-rank ScopedMetricsSink, so these hit
+    // uncontended shard locks.
+    MetricsRegistry& sink = metrics();
+    sink.counter_add("machine.comm.frames");
+    sink.counter_add("machine.comm.words", words);
+    sink.observe("machine.comm.frame_words", static_cast<double>(words));
+    if (retransmit) sink.counter_add("machine.comm.retransmit_frames");
+  }
   auto& traffic = machine_->impl_->traffic;
   if (traffic.num_ranks > 0) {
     const auto cell = static_cast<std::size_t>(rank_) *
@@ -441,11 +452,20 @@ void Machine::run(const std::function<void(Comm&)>& program) {
     });
   }
 
+  // Per-rank metric sinks: every instrumentation point on a rank thread
+  // (Comm::transmit, collectives, algorithm kernels) lands in its rank's
+  // registry; the registries merge into the caller's sink after the join
+  // so totals are deterministic and shard contention stays rank-local.
+  std::vector<MetricsRegistry> rank_metrics(
+      static_cast<std::size_t>(num_ranks_));
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (RankId r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([&, r] {
       Comm& comm = comms[static_cast<std::size_t>(r)];
+      const ScopedMetricsSink metrics_sink(
+          rank_metrics[static_cast<std::size_t>(r)]);
       try {
         program(comm);
         // A finished rank still owes its delayed frames to the network.
@@ -483,6 +503,35 @@ void Machine::run(const std::function<void(Comm&)>& program) {
   for (const Comm& comm : comms)
     if (comm.reliable_) report_.reliability += comm.reliable_->stats();
   if (impl_->injector) report_.faults = impl_->injector->counts();
+  {
+    MetricsRegistry& sink = metrics();
+    for (const MetricsRegistry& rank_registry : rank_metrics)
+      sink.merge_from(rank_registry);
+    sink.gauge_max("machine.run.ranks", static_cast<double>(num_ranks_));
+    sink.counter_add("machine.run.count");
+    if (report_.reliability.any()) {
+      const ReliabilityStats& rel = report_.reliability;
+      sink.counter_add("machine.reliable.frames_sent", rel.frames_sent);
+      sink.counter_add("machine.reliable.retransmissions",
+                       rel.retransmissions);
+      sink.counter_add("machine.reliable.acks", rel.acks);
+      sink.counter_add("machine.reliable.duplicates_dropped",
+                       rel.duplicates_dropped);
+      sink.counter_add("machine.reliable.corrupt_rejected",
+                       rel.corrupt_rejected);
+      sink.counter_add("machine.reliable.reordered", rel.reordered);
+      sink.counter_add("machine.reliable.give_ups", rel.give_ups);
+    }
+    if (report_.faults.any()) {
+      const FaultCounts& f = report_.faults;
+      sink.counter_add("machine.fault.drops", f.drops);
+      sink.counter_add("machine.fault.duplicates", f.duplicates);
+      sink.counter_add("machine.fault.corruptions", f.corruptions);
+      sink.counter_add("machine.fault.delays", f.delays);
+      sink.counter_add("machine.fault.kills", f.kills);
+      sink.counter_add("machine.fault.stalls", f.stalls);
+    }
+  }
   traffic_ = std::move(impl_->traffic);
   if (tracing_) {
     trace_.per_rank.reserve(comms.size());

@@ -236,6 +236,19 @@ void write_cost_report_json(std::ostream& out, const CostReport& report,
     json.field("stalls", f.stalls);
     json.end_object();
   }
+  if (report.oracle.present) {
+    const OracleComparison& o = report.oracle;
+    json.key("oracle");
+    json.begin_object();
+    json.field("model", o.model);
+    json.field("predicted_bandwidth", o.predicted_bandwidth);
+    json.field("predicted_latency", o.predicted_latency);
+    json.field("measured_bandwidth", report.critical_bandwidth);
+    json.field("measured_latency", report.critical_latency);
+    json.field("bandwidth_ratio", o.bandwidth_ratio);
+    json.field("latency_ratio", o.latency_ratio);
+    json.end_object();
+  }
   if (latency_path != nullptr)
     write_by_phase(json, "critical_path_latency", *latency_path);
   if (bandwidth_path != nullptr)

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "graph/algorithms.hpp"
+#include "util/metrics.hpp"
 
 namespace capsp {
 namespace {
@@ -223,6 +224,8 @@ void fm_pass(const MultiGraph& mg, std::vector<std::uint8_t>& side,
     side[static_cast<std::size_t>(v)] =
         static_cast<std::uint8_t>(1 - side[static_cast<std::size_t>(v)]);
   }
+  metrics().counter_add("partition.bisect.fm_passes");
+  metrics().counter_add("partition.bisect.refine_gain", best_gain);
 }
 
 std::vector<std::uint8_t> bisect_multigraph(const MultiGraph& mg, Rng& rng,
@@ -284,6 +287,8 @@ Bisection bisect_graph(const Graph& graph, Rng& rng,
   const MultiGraph mg = MultiGraph::from_graph(graph);
   result.side = bisect_multigraph(mg, rng, options);
   result.cut_edges = cut_size(graph, result.side);
+  metrics().observe("partition.bisect.cut_edges",
+                    static_cast<double>(result.cut_edges));
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "partition/separator.hpp"
+#include "util/metrics.hpp"
 
 namespace capsp {
 
@@ -31,6 +32,16 @@ void dissect_recursive(const Graph& graph, std::vector<Vertex> vertices,
   }
   const Graph sub = graph.induced_subgraph(vertices);
   const SeparatorPartition part = find_separator(sub, rng, options);
+  metrics().observe("partition.nd.separator_size",
+                    static_cast<double>(part.separator.size()));
+  // Balance of the split in [0, 1]; 1 is a perfect halving.
+  const double larger =
+      static_cast<double>(std::max(part.v1.size(), part.v2.size()));
+  metrics().observe("partition.nd.balance",
+                    larger > 0 ? static_cast<double>(std::min(part.v1.size(),
+                                                              part.v2.size())) /
+                                     larger
+                               : 1.0);
 
   auto to_original = [&vertices](const std::vector<Vertex>& local) {
     std::vector<Vertex> out;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace capsp {
 
 std::int64_t classical_fw(DistBlock& a) {
@@ -21,6 +23,8 @@ std::int64_t classical_fw(DistBlock& a) {
       ops += n;
     }
   }
+  metrics().counter_add("semiring.kernels.fw_ops", ops);
+  metrics().observe("semiring.kernels.block_dim", static_cast<double>(n));
   return ops;
 }
 
@@ -34,7 +38,11 @@ std::int64_t minplus_accumulate(DistBlock& c, const DistBlock& a,
   // An all-infinite operand contributes nothing: the product is empty and
   // the whole multiply is skipped (the sparsity saving of Sec. 4.1).  The
   // O(k·n) scan is negligible against the O(m·k·n) multiply it can avoid.
-  if (m == 0 || nn == 0 || b.all_infinite()) return 0;
+  if (m == 0 || nn == 0) return 0;
+  if (b.all_infinite()) {
+    metrics().counter_add("semiring.kernels.empty_skips");
+    return 0;
+  }
   // i-k-j loop order: B and C rows stream contiguously; skip infinite a(i,k)
   // so "empty" sub-structure costs nothing (the sparsity the paper exploits).
   for (std::int64_t i = 0; i < m; ++i) {
@@ -51,6 +59,7 @@ std::int64_t minplus_accumulate(DistBlock& c, const DistBlock& a,
       ops += nn;
     }
   }
+  metrics().counter_add("semiring.kernels.minplus_ops", ops);
   return ops;
 }
 
@@ -96,7 +105,10 @@ std::int64_t blocked_fw(DistBlock& a, std::int64_t tile) {
     for (std::int64_t i = 0; i < nb; ++i) {
       if (i == k) continue;
       const DistBlock aik = load_tile(a, tile, i, k);
-      if (aik.all_infinite()) continue;  // empty block: skip the whole row
+      if (aik.all_infinite()) {
+        metrics().counter_add("semiring.kernels.empty_skips");
+        continue;  // empty block: skip the whole row
+      }
       for (std::int64_t j = 0; j < nb; ++j) {
         if (j == k) continue;
         DistBlock aij = load_tile(a, tile, i, j);

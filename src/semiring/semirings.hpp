@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "semiring/block.hpp"
+#include "util/metrics.hpp"
 
 namespace capsp {
 
@@ -81,6 +82,8 @@ std::int64_t semiring_fw(DistBlock& a) {
       ops += n;
     }
   }
+  metrics().counter_add("semiring.kernels.fw_ops", ops);
+  metrics().observe("semiring.kernels.block_dim", static_cast<double>(n));
   return ops;
 }
 
@@ -109,7 +112,12 @@ std::int64_t semiring_accumulate(DistBlock& c, const DistBlock& a,
       b_all_zero = false;
       break;
     }
-  if (b_all_zero) return 0;
+  if (b_all_zero) {
+    // The sparsity saving of Sec. 4.1: an absorbing operand annihilates
+    // the whole multiply.
+    metrics().counter_add("semiring.kernels.empty_skips");
+    return 0;
+  }
   for (std::int64_t i = 0; i < m; ++i) {
     Dist* ci = c.row(i);
     const Dist* ai = a.row(i);
@@ -124,6 +132,7 @@ std::int64_t semiring_accumulate(DistBlock& c, const DistBlock& a,
       ops += nn;
     }
   }
+  metrics().counter_add("semiring.kernels.minplus_ops", ops);
   return ops;
 }
 

@@ -1,0 +1,275 @@
+#include "util/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace capsp {
+namespace {
+
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+bool is_time_like(std::string_view name) {
+  return ends_with(name, "_ms") || ends_with(name, "_seconds") ||
+         ends_with(name, "_ns") || name.find("wall") != std::string_view::npos ||
+         name.find("time") != std::string_view::npos;
+}
+
+double tolerance_for(const std::string& metric, const BenchDiffOptions& options) {
+  const auto it = options.metric_tolerance.find(metric);
+  return it != options.metric_tolerance.end() ? it->second : options.tolerance;
+}
+
+/// Human label for a record: its string-valued fields in file order,
+/// e.g. "family=grid algorithm=sparse".
+std::string record_key_of(const JsonValue& record) {
+  std::string key;
+  for (const auto& [name, value] : record.object) {
+    if (!value.is_string()) continue;
+    if (!key.empty()) key += ' ';
+    key += name + "=" + value.string;
+  }
+  return key;
+}
+
+double numeric_of(const JsonValue& value) {
+  if (value.kind == JsonValue::Kind::kBool) return value.boolean ? 1.0 : 0.0;
+  return value.number;
+}
+
+void diff_records(const JsonValue& baseline, const JsonValue& candidate,
+                  const std::string& bench_name, std::size_t index,
+                  const BenchDiffOptions& options, BenchDiffReport& report) {
+  const std::string key = record_key_of(baseline);
+  auto problem = [&](const std::string& what) {
+    std::ostringstream os;
+    os << bench_name << " record " << index;
+    if (!key.empty()) os << " (" << key << ")";
+    os << ": " << what;
+    report.problems.push_back(os.str());
+  };
+
+  for (const auto& [name, base_value] : baseline.object) {
+    const JsonValue* cand_value = candidate.find(name);
+    if (cand_value == nullptr) {
+      problem("field '" + name + "' missing from candidate");
+      continue;
+    }
+    if (base_value.is_string()) {
+      if (!cand_value->is_string() || cand_value->string != base_value.string) {
+        problem("field '" + name + "' changed identity: '" + base_value.string +
+                "' vs '" +
+                (cand_value->is_string() ? cand_value->string : "<non-string>") +
+                "'");
+      }
+      continue;
+    }
+    if (options.ignore_time_like && is_time_like(name)) continue;
+    if (!cand_value->is_number() && cand_value->kind != JsonValue::Kind::kBool) {
+      problem("field '" + name + "' is not numeric in candidate");
+      continue;
+    }
+    ++report.metrics_compared;
+    const double base = numeric_of(base_value);
+    const double cand = numeric_of(*cand_value);
+    if (base == cand) continue;
+    const double change = std::abs(cand - base) / std::max(std::abs(base), 1.0);
+    MetricDelta delta;
+    delta.bench = bench_name;
+    delta.record = index;
+    delta.record_key = key;
+    delta.metric = name;
+    delta.baseline = base;
+    delta.candidate = cand;
+    delta.relative_change = change;
+    delta.tolerance = tolerance_for(name, options);
+    delta.violation = change > delta.tolerance;
+    if (delta.violation) ++report.violations;
+    report.deltas.push_back(std::move(delta));
+  }
+  // New fields in the candidate are allowed (a refreshed binary may
+  // record more); only baseline coverage is binding.
+}
+
+void diff_loaded(const JsonValue& baseline, const JsonValue& candidate,
+                 const std::string& bench_name, const BenchDiffOptions& options,
+                 BenchDiffReport& report) {
+  const JsonValue* base_records = baseline.find("records");
+  const JsonValue* cand_records = candidate.find("records");
+  if (base_records == nullptr || !base_records->is_array() ||
+      cand_records == nullptr || !cand_records->is_array()) {
+    report.problems.push_back(bench_name + ": missing 'records' array");
+    return;
+  }
+  ++report.benches_compared;
+  if (base_records->array.size() != cand_records->array.size()) {
+    std::ostringstream os;
+    os << bench_name << ": record count changed: " << base_records->array.size()
+       << " vs " << cand_records->array.size();
+    report.problems.push_back(os.str());
+    return;
+  }
+  // BenchJson appends records in program order, which is deterministic,
+  // so records pair up by index.
+  for (std::size_t i = 0; i < base_records->array.size(); ++i) {
+    ++report.records_compared;
+    diff_records(base_records->array[i], cand_records->array[i], bench_name, i,
+                 options, report);
+  }
+}
+
+JsonValue load_json_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  CAPSP_CHECK_MSG(in.good(), "cannot open " << path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+}  // namespace
+
+void diff_bench_documents(const JsonValue& baseline, const JsonValue& candidate,
+                          const std::string& bench_name,
+                          const BenchDiffOptions& options,
+                          BenchDiffReport& report) {
+  diff_loaded(baseline, candidate, bench_name, options, report);
+}
+
+BenchDiffReport diff_bench_dirs(const std::string& baseline_dir,
+                                const std::string& candidate_dir,
+                                const BenchDiffOptions& options) {
+  namespace fs = std::filesystem;
+  BenchDiffReport report;
+  CAPSP_CHECK_MSG(fs::is_directory(baseline_dir),
+                  "baseline directory not found: " << baseline_dir);
+  CAPSP_CHECK_MSG(fs::is_directory(candidate_dir),
+                  "candidate directory not found: " << candidate_dir);
+
+  auto bench_files = [](const std::string& dir) {
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          ends_with(name, ".json")) {
+        names.push_back(name);
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+
+  const std::vector<std::string> baseline_names = bench_files(baseline_dir);
+  CAPSP_CHECK_MSG(!baseline_names.empty(),
+                  "no BENCH_*.json files in baseline directory "
+                      << baseline_dir);
+
+  for (const std::string& name : bench_files(candidate_dir)) {
+    const fs::path base_path = fs::path(baseline_dir) / name;
+    if (!fs::exists(base_path)) {
+      report.problems.push_back(name + ": candidate bench has no baseline (run "
+                                       "scripts/reproduce.sh --baseline)");
+      continue;
+    }
+    JsonValue baseline;
+    JsonValue candidate;
+    try {
+      baseline = load_json_file(base_path);
+      candidate = load_json_file(fs::path(candidate_dir) / name);
+    } catch (const check_error& e) {
+      report.problems.push_back(name + ": " + e.what());
+      continue;
+    }
+    diff_loaded(baseline, candidate, name, options, report);
+  }
+
+  for (const std::string& name : baseline_names) {
+    if (fs::exists(fs::path(candidate_dir) / name)) continue;
+    if (options.require_all) {
+      report.problems.push_back(name + ": baseline bench missing from candidate");
+    } else {
+      report.skipped.push_back(name);
+    }
+  }
+  return report;
+}
+
+void write_bench_diff_markdown(std::ostream& out, const BenchDiffReport& report) {
+  out << "# bench_diff report\n\n";
+  out << (report.ok() ? "**PASS**" : "**FAIL**") << " — "
+      << report.benches_compared << " benches, " << report.records_compared
+      << " records, " << report.metrics_compared << " metrics compared; "
+      << report.violations << " violations, " << report.problems.size()
+      << " structural problems.\n\n";
+  if (!report.problems.empty()) {
+    out << "## Structural problems\n\n";
+    for (const std::string& p : report.problems) out << "- " << p << "\n";
+    out << "\n";
+  }
+  if (!report.deltas.empty()) {
+    out << "## Changed metrics\n\n";
+    out << "| bench | record | metric | baseline | candidate | change | "
+           "tolerance | verdict |\n";
+    out << "|---|---|---|---|---|---|---|---|\n";
+    for (const MetricDelta& d : report.deltas) {
+      out << "| " << d.bench << " | " << d.record;
+      if (!d.record_key.empty()) out << " (" << d.record_key << ")";
+      out << " | " << d.metric << " | " << d.baseline << " | " << d.candidate
+          << " | " << d.relative_change * 100.0 << "% | "
+          << d.tolerance * 100.0 << "% | "
+          << (d.violation ? "VIOLATION" : "ok") << " |\n";
+    }
+    out << "\n";
+  }
+  if (!report.skipped.empty()) {
+    out << "## Baseline benches not exercised by candidate\n\n";
+    for (const std::string& s : report.skipped) out << "- " << s << "\n";
+    out << "\n";
+  }
+}
+
+void write_bench_diff_json(std::ostream& out, const BenchDiffReport& report) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("ok", report.ok());
+  json.field("exit_code", report.exit_code());
+  json.field("benches_compared", report.benches_compared);
+  json.field("records_compared", report.records_compared);
+  json.field("metrics_compared", report.metrics_compared);
+  json.field("violations", report.violations);
+  json.key("problems");
+  json.begin_array();
+  for (const std::string& p : report.problems) json.value(p);
+  json.end_array();
+  json.key("skipped");
+  json.begin_array();
+  for (const std::string& s : report.skipped) json.value(s);
+  json.end_array();
+  json.key("deltas");
+  json.begin_array();
+  for (const MetricDelta& d : report.deltas) {
+    json.begin_object();
+    json.field("bench", d.bench);
+    json.field("record", d.record);
+    json.field("record_key", d.record_key);
+    json.field("metric", d.metric);
+    json.field("baseline", d.baseline);
+    json.field("candidate", d.candidate);
+    json.field("relative_change", d.relative_change);
+    json.field("tolerance", d.tolerance);
+    json.field("violation", d.violation);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << "\n";
+}
+
+}  // namespace capsp

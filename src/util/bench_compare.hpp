@@ -1,0 +1,84 @@
+// Comparison engine behind `tools/bench_diff`: diff two directories of
+// `BENCH_*.json` files (bench/bench_common.hpp's BenchJson output, as
+// committed under bench/baselines/) with per-metric relative tolerances.
+//
+// The simulator's costs are deterministic, so a changed message count or
+// op count is a real behaviour change in either direction — the gate
+// flags improvements too (refresh the baselines deliberately with
+// `scripts/reproduce.sh --baseline`, don't let them drift).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json_parse.hpp"
+
+namespace capsp {
+
+struct BenchDiffOptions {
+  /// Relative tolerance |cand − base| / max(|base|, 1) for any numeric
+  /// field without a per-metric override.
+  double tolerance = 0.0;
+  /// Per-metric overrides, keyed by the record field name.
+  std::map<std::string, double> metric_tolerance;
+  /// Skip wall-clock-ish fields (name ends in _ms/_seconds/_ns or
+  /// contains "wall"/"time") — the repo's bench records are logical
+  /// costs and should not contain any, but a future field must not make
+  /// the gate flaky.
+  bool ignore_time_like = true;
+  /// Fail (structurally) if a baseline bench has no candidate file.
+  /// Off by default so CI can gate on a fast subset of the benches.
+  bool require_all = false;
+};
+
+/// One compared numeric field that changed.
+struct MetricDelta {
+  std::string bench;
+  std::size_t record = 0;
+  std::string record_key;  // the record's string fields, for humans
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double relative_change = 0.0;
+  double tolerance = 0.0;
+  bool violation = false;
+};
+
+struct BenchDiffReport {
+  std::vector<MetricDelta> deltas;      // changed metrics only
+  std::vector<std::string> problems;    // structural mismatches
+  std::vector<std::string> skipped;     // baseline benches without candidate
+  std::int64_t benches_compared = 0;
+  std::int64_t records_compared = 0;
+  std::int64_t metrics_compared = 0;
+  std::int64_t violations = 0;
+
+  bool ok() const { return violations == 0 && problems.empty(); }
+  /// CI semantics: 0 pass, 1 tolerance violations, 3 structural mismatch
+  /// (missing bench/record/field or malformed JSON).  2 is reserved for
+  /// the CLI's own usage/IO errors.
+  int exit_code() const {
+    if (!problems.empty()) return 3;
+    return violations > 0 ? 1 : 0;
+  }
+};
+
+/// Compare two parsed BENCH_ documents ({"bench": name, "records": [...]}).
+void diff_bench_documents(const JsonValue& baseline, const JsonValue& candidate,
+                          const std::string& bench_name,
+                          const BenchDiffOptions& options,
+                          BenchDiffReport& report);
+
+/// Compare every BENCH_*.json in `candidate_dir` against its namesake in
+/// `baseline_dir` (plus coverage checks per `options.require_all`).
+BenchDiffReport diff_bench_dirs(const std::string& baseline_dir,
+                                const std::string& candidate_dir,
+                                const BenchDiffOptions& options);
+
+void write_bench_diff_markdown(std::ostream& out, const BenchDiffReport& report);
+void write_bench_diff_json(std::ostream& out, const BenchDiffReport& report);
+
+}  // namespace capsp

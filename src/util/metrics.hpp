@@ -1,0 +1,132 @@
+// Lock-sharded metrics registry: counters, gauges, and log-scale
+// histograms with cheap percentile estimates (docs/metrics.md).
+//
+// The machine simulator runs one thread per rank, so every layer that
+// wants to count something (partitioner, semiring kernels, superFW, the
+// comm fabric itself) may be running on any rank thread.  Each rank gets
+// its own registry for the duration of `Machine::run` (installed via
+// `ScopedMetricsSink`), and the per-rank registries are merged into the
+// caller's registry when the run ends — so cross-rank contention is
+// limited to name-shard locks within one rank's registry, and the merged
+// totals are deterministic for deterministic programs.
+//
+// Naming convention: `layer.component.metric`, e.g.
+// `partition.nd.separator_size` or `machine.comm.frame_words`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace capsp {
+
+class JsonWriter;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Fixed-shape log₂ histogram.  Bucket 0 holds values ≤ 1; bucket b ≥ 1
+/// holds (2^(b-1), 2^b]; the last bucket absorbs everything larger.
+/// Exact min/max/sum/count ride along, so mean is exact and the
+/// percentile estimate can be clamped into [min, max].
+struct Histogram {
+  static constexpr int kBuckets = 64;
+
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  void observe(double value);
+  void merge(const Histogram& other);
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Upper bound of the first bucket whose cumulative count reaches
+  /// q·count (q in [0, 1]), clamped into [min, max].  Exact for
+  /// single-valued distributions; otherwise correct to within the 2×
+  /// bucket resolution.
+  double percentile(double q) const;
+};
+
+/// One named metric.  The kind is fixed at first use; re-using a name
+/// with a different kind is a CHECK failure.
+struct Metric {
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t counter = 0;
+  double gauge = 0.0;
+  Histogram histogram;
+};
+
+/// Snapshot of a whole registry, sorted by name (map semantics make the
+/// JSON output and test assertions order-stable).
+using MetricsSnapshot = std::map<std::string, Metric>;
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void counter_add(std::string_view name, std::int64_t delta = 1);
+  void gauge_set(std::string_view name, double value);
+  /// Gauge variant keeping the maximum of all values set so far.
+  void gauge_max(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+
+  /// Add every metric of `other` into this registry (counters add,
+  /// gauges keep the max, histograms merge).  Kind conflicts CHECK.
+  void merge_from(const MetricsRegistry& other);
+
+  MetricsSnapshot snapshot() const;
+  void clear();
+
+  /// Process-wide default sink (used when no ScopedMetricsSink is
+  /// installed on the current thread).
+  static MetricsRegistry& global();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Metric, std::less<>> metrics;
+  };
+
+  Shard& shard_for(std::string_view name);
+  /// Find-or-create under the shard lock, CHECKing kind stability.
+  Metric& slot(Shard& shard, std::string_view name, MetricKind kind);
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// The registry instrumentation points write to: the innermost
+/// ScopedMetricsSink on this thread, else the global registry.
+MetricsRegistry& metrics();
+
+/// RAII redirection of this thread's `metrics()` to a specific registry.
+/// `Machine::run` installs one per rank thread so per-rank counts stay
+/// isolated until the end-of-run merge.
+class ScopedMetricsSink {
+ public:
+  explicit ScopedMetricsSink(MetricsRegistry& registry);
+  ~ScopedMetricsSink();
+  ScopedMetricsSink(const ScopedMetricsSink&) = delete;
+  ScopedMetricsSink& operator=(const ScopedMetricsSink&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Emit `"metrics": { name: {...}, ... }` into an already-open JSON
+/// object (composable with other sections, e.g. apsp_tool adds the
+/// oracle comparison alongside).
+void write_metrics_fields(JsonWriter& json, const MetricsSnapshot& snapshot);
+
+/// Whole-document form: `{"metrics": {...}}`.
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry);
+
+}  // namespace capsp

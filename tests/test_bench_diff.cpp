@@ -1,0 +1,185 @@
+// The bench regression gate (docs/metrics.md): the strict JSON parser,
+// document-level diffing with tolerances, structural-mismatch detection,
+// and the report writers.  Directory-level behaviour (including the
+// self-compare of the committed baselines) is exercised by the
+// bench_diff_self ctest registered in tools/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bench_compare.hpp"
+#include "util/check.hpp"
+#include "util/json_parse.hpp"
+
+namespace capsp {
+namespace {
+
+// --- parser ---
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2").number, -1250.0);
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nA")").string, "a\"b\\c\nA");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const JsonValue doc =
+      parse_json(R"({"bench": "x", "records": [{"n": 1}, {"n": 2}]})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("bench")->string, "x");
+  const JsonValue* records = doc.find("records");
+  ASSERT_TRUE(records && records->is_array());
+  ASSERT_EQ(records->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(records->array[1].find("n")->number, 2.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonParse, ErrorsThrow) {
+  EXPECT_THROW(parse_json(""), check_error);
+  EXPECT_THROW(parse_json("{"), check_error);
+  EXPECT_THROW(parse_json("[1,]"), check_error);
+  EXPECT_THROW(parse_json("12 garbage"), check_error);
+  EXPECT_THROW(parse_json(R"({"a": 1 "b": 2})"), check_error);
+}
+
+// --- diffing ---
+
+JsonValue doc(const std::string& records_json) {
+  return parse_json(R"({"bench": "t", "records": )" + records_json + "}");
+}
+
+BenchDiffReport diff(const std::string& base, const std::string& cand,
+                     const BenchDiffOptions& options = {}) {
+  BenchDiffReport report;
+  diff_bench_documents(doc(base), doc(cand), "BENCH_t.json", options, report);
+  return report;
+}
+
+TEST(BenchDiff, IdenticalPasses) {
+  const BenchDiffReport r =
+      diff(R"([{"case": "a", "ops": 100, "words": 5}])",
+           R"([{"case": "a", "ops": 100, "words": 5}])");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_EQ(r.metrics_compared, 2);
+  EXPECT_TRUE(r.deltas.empty());
+}
+
+TEST(BenchDiff, DoubledOpCountFails) {
+  const BenchDiffReport r =
+      diff(R"([{"ops": 100}])", R"([{"ops": 200}])");
+  EXPECT_EQ(r.exit_code(), 1);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].metric, "ops");
+  EXPECT_DOUBLE_EQ(r.deltas[0].relative_change, 1.0);
+  EXPECT_TRUE(r.deltas[0].violation);
+}
+
+TEST(BenchDiff, ImprovementAlsoFails) {
+  // The gate is a change detector: unexplained improvements are drift.
+  const BenchDiffReport r = diff(R"([{"ops": 100}])", R"([{"ops": 50}])");
+  EXPECT_EQ(r.exit_code(), 1);
+}
+
+TEST(BenchDiff, ToleranceEdge) {
+  BenchDiffOptions options;
+  options.tolerance = 0.1;
+  // Exactly at the edge passes (violation is strict >)…
+  EXPECT_EQ(diff(R"([{"ops": 100}])", R"([{"ops": 110}])", options)
+                .exit_code(),
+            0);
+  // …one step beyond fails.
+  EXPECT_EQ(diff(R"([{"ops": 100}])", R"([{"ops": 110.2}])", options)
+                .exit_code(),
+            1);
+}
+
+TEST(BenchDiff, PerMetricToleranceOverride) {
+  BenchDiffOptions options;
+  options.tolerance = 0.0;
+  options.metric_tolerance["ops"] = 0.5;
+  const BenchDiffReport r =
+      diff(R"([{"ops": 120, "words": 10}])",
+           R"([{"ops": 150, "words": 10}])", options);
+  EXPECT_EQ(r.exit_code(), 0);  // ops covered by its override
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_FALSE(r.deltas[0].violation);
+}
+
+TEST(BenchDiff, SmallBaselineUsesAbsoluteFloor) {
+  // rel = |c - b| / max(|b|, 1): a 0 -> 0.5 move is a 50% change, not a
+  // division by zero.
+  const BenchDiffReport r = diff(R"([{"x": 0}])", R"([{"x": 0.5}])");
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.deltas[0].relative_change, 0.5);
+}
+
+TEST(BenchDiff, TimeLikeFieldsIgnoredByDefault) {
+  const BenchDiffReport r =
+      diff(R"([{"ops": 1, "wall_ms": 5, "elapsed_seconds": 1}])",
+           R"([{"ops": 1, "wall_ms": 50, "elapsed_seconds": 9}])");
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_EQ(r.metrics_compared, 1);
+
+  BenchDiffOptions compare_time;
+  compare_time.ignore_time_like = false;
+  const BenchDiffReport r2 =
+      diff(R"([{"wall_ms": 5}])", R"([{"wall_ms": 50}])", compare_time);
+  EXPECT_EQ(r2.exit_code(), 1);
+}
+
+TEST(BenchDiff, MissingFieldIsStructural) {
+  const BenchDiffReport r =
+      diff(R"([{"ops": 1, "words": 2}])", R"([{"ops": 1}])");
+  EXPECT_EQ(r.exit_code(), 3);
+  ASSERT_EQ(r.problems.size(), 1u);
+}
+
+TEST(BenchDiff, NewCandidateFieldsAllowed) {
+  // A refreshed binary may add metrics; only baseline coverage is gated.
+  const BenchDiffReport r =
+      diff(R"([{"ops": 1}])", R"([{"ops": 1, "extra": 9}])");
+  EXPECT_EQ(r.exit_code(), 0);
+}
+
+TEST(BenchDiff, RecordCountDriftIsStructural) {
+  const BenchDiffReport r =
+      diff(R"([{"ops": 1}, {"ops": 2}])", R"([{"ops": 1}])");
+  EXPECT_EQ(r.exit_code(), 3);
+}
+
+TEST(BenchDiff, IdentityFieldChangeIsStructural) {
+  const BenchDiffReport r = diff(R"([{"case": "grid", "ops": 1}])",
+                                 R"([{"case": "tree", "ops": 1}])");
+  EXPECT_EQ(r.exit_code(), 3);
+}
+
+TEST(BenchDiff, StructuralBeatsViolationInExitCode) {
+  BenchDiffReport report;
+  report.violations = 2;
+  report.problems.push_back("missing bench");
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+// --- reports ---
+
+TEST(BenchDiff, ReportsSerialize) {
+  const BenchDiffReport r = diff(R"([{"case": "a", "ops": 100}])",
+                                 R"([{"case": "a", "ops": 200}])");
+  std::ostringstream md;
+  write_bench_diff_markdown(md, r);
+  EXPECT_NE(md.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(md.str().find("ops"), std::string::npos);
+
+  std::ostringstream js;
+  write_bench_diff_json(js, r);
+  const JsonValue parsed = parse_json(js.str());
+  EXPECT_EQ(parsed.find("exit_code")->number, 1.0);
+  EXPECT_EQ(parsed.find("deltas")->array.size(), 1u);
+  EXPECT_EQ(parsed.find("deltas")->array[0].find("metric")->string, "ops");
+}
+
+}  // namespace
+}  // namespace capsp

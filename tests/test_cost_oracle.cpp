@@ -1,0 +1,123 @@
+// The analytical cost oracle (docs/metrics.md): golden values of the
+// paper's closed-form W/S bounds, attach/ratio plumbing into CostReport,
+// and the Table-2-style end-to-end check that measured critical-path
+// costs stay within a constant factor of the prediction for the sparse
+// algorithm and both dense baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/dc_apsp.hpp"
+#include "baseline/fw2d.hpp"
+#include "core/cost_oracle.hpp"
+#include "core/sparse_apsp.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+// With p = 16 ranks, log₂p = 4.
+
+TEST(CostOracle, SparseGolden) {
+  const CostPrediction pred = predict_sparse_apsp(40, 4, 16);
+  EXPECT_EQ(pred.model, "2d-sparse-apsp");
+  // W = (n²/p + s²)·log₂²p = (1600/16 + 16)·16 = 1856.
+  EXPECT_DOUBLE_EQ(pred.bandwidth, 1856.0);
+  // S = log₂²p = 16.
+  EXPECT_DOUBLE_EQ(pred.latency, 16.0);
+}
+
+TEST(CostOracle, DcGolden) {
+  const CostPrediction pred = predict_dc_apsp(40, 16);
+  EXPECT_EQ(pred.model, "2d-dc-apsp");
+  // W = n²·log₂p/√p = 1600·4/4 = 1600.
+  EXPECT_DOUBLE_EQ(pred.bandwidth, 1600.0);
+  // S = √p·log₂²p = 4·16 = 64.
+  EXPECT_DOUBLE_EQ(pred.latency, 64.0);
+}
+
+TEST(CostOracle, Fw2dGolden) {
+  const CostPrediction pred = predict_fw2d(40, 16, 8);
+  EXPECT_EQ(pred.model, "fw2d");
+  // W = n²·log₂p/√p = 1600.
+  EXPECT_DOUBLE_EQ(pred.bandwidth, 1600.0);
+  // S = b·log₂p = 8·4 = 32.
+  EXPECT_DOUBLE_EQ(pred.latency, 32.0);
+}
+
+TEST(CostOracle, SmallPFloorsLogAtOne) {
+  // p = 1 would otherwise zero the bounds; log₂p is floored at 1.
+  const CostPrediction pred = predict_dc_apsp(10, 1);
+  EXPECT_DOUBLE_EQ(pred.bandwidth, 100.0);
+  EXPECT_DOUBLE_EQ(pred.latency, 1.0);
+}
+
+TEST(CostOracle, EmptyGraphAccepted) {
+  // n = 0 is a legal degenerate input throughout the repo.
+  const CostPrediction pred = predict_sparse_apsp(0, 0, 9);
+  EXPECT_DOUBLE_EQ(pred.bandwidth, 0.0);
+  EXPECT_GT(pred.latency, 0.0);
+  EXPECT_THROW(predict_sparse_apsp(-1, 0, 9), check_error);
+  EXPECT_THROW(predict_dc_apsp(10, 0), check_error);
+  EXPECT_THROW(predict_fw2d(10, 4, 0), check_error);
+}
+
+TEST(CostOracle, AttachComputesRatios) {
+  CostReport report;
+  report.critical_bandwidth = 800.0;
+  report.critical_latency = 32.0;
+  attach_oracle(report, predict_dc_apsp(40, 16));
+  EXPECT_TRUE(report.oracle.present);
+  EXPECT_EQ(report.oracle.model, "2d-dc-apsp");
+  EXPECT_DOUBLE_EQ(report.oracle.bandwidth_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(report.oracle.latency_ratio, 0.5);
+  EXPECT_TRUE(oracle_within(report, 2.0));
+  EXPECT_FALSE(oracle_within(report, 1.5));
+  EXPECT_NO_THROW(check_oracle(report, 2.0));
+  EXPECT_THROW(check_oracle(report, 1.5), check_error);
+}
+
+TEST(CostOracle, NoOracleAttachedThrows) {
+  const CostReport report;
+  EXPECT_THROW(oracle_within(report, 2.0), check_error);
+}
+
+// End-to-end: on a Table-2-style grid instance, the measured critical
+// bandwidth/latency of each algorithm must stay within a (generous but
+// finite) constant factor of its oracle.  The factor absorbs the
+// constants the asymptotic bounds drop; what it must NOT absorb is a
+// polynomial gap — doubling n or p moves the measurement and the
+// prediction together, which CI observes via the bench_diff gate.
+
+TEST(CostOracle, SparseApspMeasuredWithinConstantFactor) {
+  Rng rng(7);
+  const Graph grid = make_grid2d(14, 14, rng);
+  SparseApspOptions options;
+  options.height = 2;  // p = 9
+  options.collect_distances = false;
+  SparseApspResult result = run_sparse_apsp(grid, options);
+  ASSERT_TRUE(result.costs.oracle.present);  // attached by the driver
+  EXPECT_EQ(result.costs.oracle.model, "2d-sparse-apsp");
+  check_oracle(result.costs, 8.0);
+}
+
+TEST(CostOracle, DcApspMeasuredWithinConstantFactor) {
+  Rng rng(7);
+  const Graph grid = make_grid2d(14, 14, rng);
+  DistributedApspResult result = run_dc_apsp(grid, 4);
+  attach_oracle(result.costs,
+                predict_dc_apsp(static_cast<double>(grid.num_vertices()), 16));
+  check_oracle(result.costs, 8.0);
+}
+
+TEST(CostOracle, Fw2dMeasuredWithinConstantFactor) {
+  Rng rng(7);
+  const Graph grid = make_grid2d(14, 14, rng);
+  DistributedApspResult result = run_fw2d(grid, 4, 4);
+  attach_oracle(
+      result.costs,
+      predict_fw2d(static_cast<double>(grid.num_vertices()), 16, 4));
+  check_oracle(result.costs, 8.0);
+}
+
+}  // namespace
+}  // namespace capsp

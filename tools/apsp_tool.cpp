@@ -31,13 +31,80 @@
 #include <optional>
 
 #include "capsp.hpp"
+#include "core/cost_oracle.hpp"
 #include "machine/trace_export.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace capsp;
+
+void print_help() {
+  std::cout <<
+      "usage: apsp_tool --mode solve|partition|query|gen [flags]\n"
+      "\n"
+      "graph input (all modes):\n"
+      "  --file <path>            load an edge-list / matrix-market file\n"
+      "  --graph <kind>           generate: grid|grid3d|er|tree|rmat|geometric\n"
+      "  --n <count>              generated-graph size (default 256)\n"
+      "  --seed <int>             generator seed (default 1)\n"
+      "\n"
+      "--mode solve:\n"
+      "  --algorithm <name>       sparse|dc|superfw|dijkstra|bottleneck\n"
+      "  --height <h>             eTree height, p = (2^h-1)^2 ranks; 0 = auto\n"
+      "  --q <q>                  grid side for --algorithm dc (p = q^2)\n"
+      "  --verify                 certify distances with the O(n·m) check\n"
+      "  --save-distances <path>  cache the distance matrix\n"
+      "  --trace <path>           event trace JSON (sparse|bottleneck)\n"
+      "  --report-json <path>     CostReport JSON, incl. the cost-oracle\n"
+      "                           predicted-vs-measured ratios\n"
+      "  --metrics-json <path>    merged metrics registry JSON (docs/metrics.md)\n"
+      "  --fault-plan <spec>      inject faults, e.g. seed=7,drop=0.05\n"
+      "  --reliable               acked, retrying transport\n"
+      "  --recv-timeout <sec>     deadlock watchdog budget\n"
+      "\n"
+      "--mode partition:  --height <h>\n"
+      "--mode query:      --from <v> --to <v> [--distances <path>]\n"
+      "--mode gen:        --out <path>\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  error (bad input, failed invariant CHECK, failed --verify)\n"
+      "  2  usage error (unknown --mode)\n"
+      "  3  deadlock: the watchdog aborted the run (structured report on\n"
+      "     stderr; --report-json receives the DeadlockReport JSON)\n";
+}
+
+/// --metrics-json: dump the merged registry (plus the oracle comparison
+/// when the solved algorithm attached one) as a single JSON object.
+void write_metrics(const Cli& cli, const CostReport* costs) {
+  const std::string path = cli.get_string("metrics-json", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  CAPSP_CHECK_MSG(out, "cannot write --metrics-json file " << path);
+  JsonWriter json(out);
+  json.begin_object();
+  write_metrics_fields(json, MetricsRegistry::global().snapshot());
+  if (costs != nullptr && costs->oracle.present) {
+    const OracleComparison& o = costs->oracle;
+    json.key("oracle");
+    json.begin_object();
+    json.field("model", o.model);
+    json.field("predicted_bandwidth", o.predicted_bandwidth);
+    json.field("predicted_latency", o.predicted_latency);
+    json.field("measured_bandwidth", costs->critical_bandwidth);
+    json.field("measured_latency", costs->critical_latency);
+    json.field("bandwidth_ratio", o.bandwidth_ratio);
+    json.field("latency_ratio", o.latency_ratio);
+    json.end_object();
+  }
+  json.end_object();
+  out << "\n";
+  std::cout << "wrote metrics to " << path << "\n";
+}
 
 Graph build_graph(const Cli& cli, Rng& rng) {
   const std::string file = cli.get_string("file", "");
@@ -188,6 +255,9 @@ int mode_solve(const Cli& cli, Rng& rng) {
     std::cout << "auto-selected eTree height " << height << " (p = "
               << ((1 << height) - 1) * ((1 << height) - 1) << ")\n";
   DistBlock distances;
+  // Costs of whichever machine run happened, for --metrics-json's oracle
+  // section (absent for the sequential algorithms).
+  std::optional<CostReport> solved_costs;
   if (algorithm == "bottleneck") {
     SparseApspOptions options;
     options.height = height;
@@ -206,6 +276,7 @@ int mode_solve(const Cli& cli, Rng& rng) {
               << " words\n";
     print_robustness(result);
     write_observability(cli, result);
+    write_metrics(cli, &result.costs);
     Dist narrowest = kInf;
     for (Vertex u = 0; u < graph.num_vertices(); ++u)
       for (Vertex v = u + 1; v < graph.num_vertices(); ++v)
@@ -231,9 +302,14 @@ int mode_solve(const Cli& cli, Rng& rng) {
               << " words, |S|=" << result.separator_size << "\n";
     print_robustness(result);
     write_observability(cli, result);
+    solved_costs = result.costs;
   } else if (algorithm == "dc") {
     const int q = static_cast<int>(cli.get_int("q", 4));
-    const DistributedApspResult result = run_dc_apsp(graph, q);
+    DistributedApspResult result = run_dc_apsp(graph, q);
+    attach_oracle(result.costs,
+                  predict_dc_apsp(static_cast<double>(graph.num_vertices()),
+                                  static_cast<double>(q) * q));
+    solved_costs = result.costs;
     distances = result.distances;
     std::cout << "2D-DC-APSP on p=" << q * q
               << ": L=" << result.costs.critical_latency
@@ -270,6 +346,7 @@ int mode_solve(const Cli& cli, Rng& rng) {
                                    << report.problem);
     std::cout << "certificate: distances verified exact (O(n·m) check)\n";
   }
+  write_metrics(cli, solved_costs ? &*solved_costs : nullptr);
   const PathOracle oracle(graph, std::move(distances));
   std::cout << "diameter " << oracle.diameter() << ", radius "
             << oracle.radius() << ", mean distance "
@@ -309,6 +386,10 @@ int mode_query(const Cli& cli, Rng& rng) {
 int main(int argc, char** argv) {
   try {
     const Cli cli(argc, argv);
+    if (cli.get_bool("help", false)) {
+      print_help();
+      return 0;
+    }
     const std::string mode = cli.get_string("mode", "solve");
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
     // Pre-register flags each mode may use so check_unused stays accurate.

@@ -1,0 +1,141 @@
+/// bench_diff — regression gate over BENCH_*.json directories.
+///
+/// Compares every benchmark document in --candidate against the matching
+/// document in --baseline (by default the committed bench/baselines/) and
+/// fails when any numeric metric moved by more than the allowed relative
+/// tolerance in either direction.  Costs in this repo are deterministic, so
+/// the gate is a change detector, not a noise filter: an unexpected
+/// improvement is as suspicious as a regression.
+///
+/// Exit codes: 0 pass, 1 tolerance violation, 2 usage/IO error,
+/// 3 structural mismatch (missing bench, record count drift, type change).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/bench_compare.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void print_help() {
+  std::cout << R"(usage: bench_diff --baseline <dir> --candidate <dir> [flags]
+
+Compares BENCH_*.json benchmark dumps (written by the bench binaries when
+CAPSP_BENCH_JSON_DIR is set) between two directories and exits non-zero
+when metrics drift beyond tolerance.  See docs/metrics.md.
+
+flags:
+  --baseline <dir>        reference directory (e.g. bench/baselines)
+  --candidate <dir>       directory with the freshly produced dumps
+  --tolerance <frac>      allowed relative change for every metric
+                          (default 0: any change fails)
+  --metric-tolerance name=frac[,name=frac...]
+                          per-metric overrides of --tolerance
+  --compare-time          also compare wall-clock-ish fields (*_ms,
+                          *_seconds, ...); skipped by default
+  --require-all           fail if the candidate is missing a baseline bench
+                          (default: missing benches are reported as skipped)
+  --report-md <path>      write a markdown summary
+  --report-json <path>    write a machine-readable report
+
+exit codes:
+  0  all compared metrics within tolerance
+  1  at least one metric moved beyond tolerance
+  2  usage or I/O error (bad flags, unreadable directory)
+  3  structural mismatch (bench/record/field set drift, parse failure)
+)";
+}
+
+/// Parses "name=0.1,other=0.5" into per-metric tolerances.
+void parse_metric_tolerances(const std::string& spec,
+                             capsp::BenchDiffOptions& options) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    CAPSP_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "bad --metric-tolerance item '"
+                        << item << "' (expected name=fraction)");
+    options.metric_tolerance[item.substr(0, eq)] =
+        std::stod(item.substr(eq + 1));
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const capsp::Cli cli(argc, argv);
+    if (cli.get_bool("help", false)) {
+      print_help();
+      return 0;
+    }
+    const std::string baseline = cli.get_string("baseline", "");
+    const std::string candidate = cli.get_string("candidate", "");
+    if (baseline.empty() || candidate.empty()) {
+      std::cerr << "bench_diff: --baseline and --candidate are required "
+                   "(--help for usage)\n";
+      return 2;
+    }
+
+    capsp::BenchDiffOptions options;
+    options.tolerance = cli.get_double("tolerance", 0.0);
+    CAPSP_CHECK_MSG(options.tolerance >= 0,
+                    "--tolerance must be >= 0, got " << options.tolerance);
+    parse_metric_tolerances(cli.get_string("metric-tolerance", ""), options);
+    options.ignore_time_like = !cli.get_bool("compare-time", false);
+    options.require_all = cli.get_bool("require-all", false);
+    const std::string report_md = cli.get_string("report-md", "");
+    const std::string report_json = cli.get_string("report-json", "");
+    cli.check_unused();
+
+    const capsp::BenchDiffReport report =
+        capsp::diff_bench_dirs(baseline, candidate, options);
+
+    if (!report_md.empty()) {
+      std::ofstream out(report_md);
+      CAPSP_CHECK_MSG(out.good(), "cannot write " << report_md);
+      capsp::write_bench_diff_markdown(out, report);
+    }
+    if (!report_json.empty()) {
+      std::ofstream out(report_json);
+      CAPSP_CHECK_MSG(out.good(), "cannot write " << report_json);
+      capsp::write_bench_diff_json(out, report);
+    }
+
+    // Human summary on stdout: problems, then violations, then the verdict.
+    for (const std::string& problem : report.problems)
+      std::cout << "PROBLEM: " << problem << "\n";
+    for (const std::string& skipped : report.skipped)
+      std::cout << "skipped: " << skipped << "\n";
+    for (const capsp::MetricDelta& delta : report.deltas) {
+      if (!delta.violation) continue;
+      std::cout << "FAIL " << delta.bench << " record#" << delta.record
+                << (delta.record_key.empty() ? "" : " [" + delta.record_key +
+                                                        "]")
+                << " " << delta.metric << ": " << delta.baseline << " -> "
+                << delta.candidate << " (change "
+                << delta.relative_change * 100 << "%, tolerance "
+                << delta.tolerance * 100 << "%)\n";
+    }
+    std::cout << "bench_diff: " << report.benches_compared << " benches, "
+              << report.records_compared << " records, "
+              << report.metrics_compared << " metrics compared; "
+              << report.violations << " violations, " << report.problems.size()
+              << " problems -> "
+              << (report.exit_code() == 0 ? "PASS" : "FAIL") << "\n";
+    return report.exit_code();
+  } catch (const capsp::check_error& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  }
+}
