@@ -34,9 +34,30 @@ run_benches() {
   done
 }
 
+# Serving-layer records (docs/serving.md): solve once, tile the matrix,
+# and run the deterministic closed-loop workloads that the CI serving
+# smoke replays.  Keep the flags in lockstep with .github/workflows/ci.yml
+# — bench_diff --require-all fails if either side is missing a record.
+run_serve_benches() {
+  local dir
+  dir=$(mktemp -d)
+  ./build/tools/apsp_tool --mode solve --graph grid --n 441 --height 2 \
+    --save-distances "$dir/serve.db1"
+  ./build/tools/serve_tool --mode upgrade --in "$dir/serve.db1" \
+    --out "$dir/serve.snap" --tile 32
+  ./build/tools/serve_tool --mode serve --snapshot "$dir/serve.snap" \
+    --graph grid --n 441 --threads 4 --requests 4000 \
+    --mix zipf --queries distance --cache-bytes 262144
+  ./build/tools/serve_tool --mode serve --snapshot "$dir/serve.snap" \
+    --graph grid --n 441 --threads 4 --requests 1500 \
+    --mix bfs --queries path --cache-bytes 262144
+  rm -rf "$dir"
+}
+
 if [ "$mode" = "baseline" ]; then
   mkdir -p bench/baselines
   CAPSP_BENCH_JSON_DIR="$PWD/bench/baselines" run_benches > /dev/null
+  CAPSP_BENCH_JSON_DIR="$PWD/bench/baselines" run_serve_benches > /dev/null
   ./build/tools/bench_diff --baseline bench/baselines \
     --candidate bench/baselines --require-all
   echo "done: refreshed bench/baselines/ ($(ls bench/baselines | wc -l) files)"

@@ -4,6 +4,7 @@
 Usage:
     python3 scripts/trace_summary.py trace.json [--top K] [--axis latency|bandwidth]
     python3 scripts/trace_summary.py metrics metrics.json [--top K]
+    python3 scripts/trace_summary.py serve serve.json
 
 Reads the trace JSON written by `apsp_tool --trace=<file>` (or
 write_chrome_trace), pulls the critical-path decomposition the exporter
@@ -118,11 +119,65 @@ def summarize_metrics(argv):
     return 0
 
 
+def summarize_serve(argv):
+    """The `serve` subcommand: render a DistanceService summary JSON
+    (serve_tool --report-json, docs/serving.md) — request totals by
+    outcome and kind, cache behaviour, and latency percentiles."""
+    parser = argparse.ArgumentParser(
+        prog="trace_summary.py serve",
+        description="Summarize a serve_tool --report-json dump.")
+    parser.add_argument("report", help="summary JSON from --report-json")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as f:
+        doc = json.load(f)
+    serve = doc.get("serve")
+    if serve is None:
+        print(f"error: {args.report} has no 'serve' key — not a serving "
+              "summary", file=sys.stderr)
+        return 1
+
+    snap = serve["snapshot"]
+    backing = "file-backed" if snap["file_backed"] else "in-memory"
+    print(f"snapshot: {snap['rows']}x{snap['cols']} in {snap['tiles']} "
+          f"tiles of {snap['tile_dim']} ({backing})")
+    print(f"service: {serve['threads']} workers, cache budget "
+          f"{serve['cache_bytes']:,} bytes, max queue "
+          f"{serve['max_queue']}")
+
+    req = serve["requests"]
+    print(f"\nrequests: {req['total']:,} total "
+          f"({req['distance']:,} distance, {req['path']:,} path, "
+          f"{req['knear']:,} knear)")
+    print(f"  ok {req['ok']:,}, overloaded {req['overloaded']:,}, "
+          f"deadline_exceeded {req['deadline_exceeded']:,}, "
+          f"shutdown {req['shutdown']:,}")
+
+    cache = serve["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    print(f"\ncache: {cache['hits']:,} hits / {lookups:,} lookups "
+          f"({100.0 * cache['hit_rate']:.1f}% hit rate), "
+          f"{cache['evictions']:,} evictions, "
+          f"{cache['bytes']:,} bytes resident in {cache['entries']:,} "
+          f"tiles")
+    print(f"tile bytes read: {serve['bytes_read']:,}")
+
+    lat = serve["latency_us"]
+    if lat["count"] > 0:
+        print(f"\nlatency (us): mean {lat['mean']:.1f}, "
+              f"p50 {lat['p50']:g}, p95 {lat['p95']:g}, "
+              f"max {lat['max']:.1f} over {lat['count']:,} requests")
+    return 0
+
+
 def main():
     # Subcommand dispatch keeps the original positional-trace CLI intact:
-    # only a literal first argument of "metrics" selects the new mode.
+    # only a literal first argument of "metrics" or "serve" selects the
+    # new modes.
     if len(sys.argv) > 1 and sys.argv[1] == "metrics":
         return summarize_metrics(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "serve":
+        return summarize_serve(sys.argv[2:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace JSON from apsp_tool --trace")
     parser.add_argument("--top", type=int, default=10,

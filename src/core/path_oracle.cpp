@@ -15,27 +15,17 @@ bool close(Dist a, Dist b) {
 
 }  // namespace
 
-PathOracle::PathOracle(Graph graph, DistBlock distances)
-    : graph_(std::move(graph)), distances_(std::move(distances)) {
-  const Vertex n = graph_.num_vertices();
-  CAPSP_CHECK_MSG(distances_.rows() == n && distances_.cols() == n,
-                  "distance matrix is " << distances_.rows() << "x"
-                                        << distances_.cols() << ", graph has "
-                                        << n << " vertices");
-  for (Vertex v = 0; v < n; ++v)
-    CAPSP_CHECK_MSG(distances_.at(v, v) == 0,
-                    "nonzero diagonal at vertex " << v);
-}
-
-Vertex PathOracle::next_hop(Vertex u, Vertex v) const {
-  CAPSP_CHECK(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices());
+Vertex next_hop_via(const Graph& graph, Vertex u, Vertex v,
+                    const DistFn& dist) {
+  const Vertex n = graph.num_vertices();
+  CAPSP_CHECK(u >= 0 && u < n && v >= 0 && v < n);
   if (u == v) return v;
-  const Dist target = distances_.at(u, v);
+  const Dist target = dist(u, v);
   if (is_inf(target)) return -1;
   Vertex best = -1;
   Dist best_through = kInf;
-  for (const auto& nb : graph_.neighbors(u)) {
-    const Dist through = nb.weight + distances_.at(nb.to, v);
+  for (const auto& nb : graph.neighbors(u)) {
+    const Dist through = nb.weight + dist(nb.to, v);
     if (through < best_through) {
       best_through = through;
       best = nb.to;
@@ -49,19 +39,46 @@ Vertex PathOracle::next_hop(Vertex u, Vertex v) const {
   return best;
 }
 
-std::vector<Vertex> PathOracle::shortest_path(Vertex u, Vertex v) const {
-  if (!reachable(u, v)) return {};
+std::vector<Vertex> shortest_path_via(const Graph& graph, Vertex u, Vertex v,
+                                      const DistFn& dist) {
+  if (is_inf(dist(u, v))) return {};
   std::vector<Vertex> path{u};
   Vertex cursor = u;
   // A shortest path visits each vertex at most once; anything longer means
   // the matrix is inconsistent with the graph.
   for (Vertex steps = 0; cursor != v; ++steps) {
-    CAPSP_CHECK_MSG(steps < num_vertices(),
+    CAPSP_CHECK_MSG(steps < graph.num_vertices(),
                     "path reconstruction looped; inconsistent inputs");
-    cursor = next_hop(cursor, v);
+    cursor = next_hop_via(graph, cursor, v, dist);
     path.push_back(cursor);
   }
   return path;
+}
+
+PathOracle::PathOracle(Graph graph, DistBlock distances)
+    : graph_(std::move(graph)), distances_(std::move(distances)) {
+  const Vertex n = graph_.num_vertices();
+  CAPSP_CHECK_MSG(distances_.rows() == n && distances_.cols() == n,
+                  "distance matrix is " << distances_.rows() << "x"
+                                        << distances_.cols() << ", graph has "
+                                        << n << " vertices");
+  for (Vertex v = 0; v < n; ++v)
+    CAPSP_CHECK_MSG(distances_.at(v, v) == 0,
+                    "nonzero diagonal at vertex " << v);
+}
+
+Vertex PathOracle::next_hop(Vertex u, Vertex v) const {
+  return next_hop_via(graph_, u, v,
+                      [this](Vertex a, Vertex b) {
+                        return distances_.at(a, b);
+                      });
+}
+
+std::vector<Vertex> PathOracle::shortest_path(Vertex u, Vertex v) const {
+  return shortest_path_via(graph_, u, v,
+                           [this](Vertex a, Vertex b) {
+                             return distances_.at(a, b);
+                           });
 }
 
 Dist PathOracle::path_weight(std::span<const Vertex> path) const {

@@ -11,6 +11,7 @@
 // examples.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,23 @@
 #include "semiring/block.hpp"
 
 namespace capsp {
+
+/// Distance lookup a path reconstruction runs against.  PathOracle backs
+/// it with its in-memory matrix; the serving layer (serve/service) backs
+/// it with a tile cache over an on-disk snapshot.
+using DistFn = std::function<Dist(Vertex, Vertex)>;
+
+/// First vertex after u on a shortest u→v path under `dist` (v itself when
+/// u == v); -1 if v is unreachable from u.  O(deg(u)) lookups.
+/// CHECK-fails when no neighbor is consistent with dist(u, v) — i.e. the
+/// matrix does not belong to this graph.
+Vertex next_hop_via(const Graph& graph, Vertex u, Vertex v,
+                    const DistFn& dist);
+
+/// Vertex sequence u, ..., v of a shortest path under `dist` (singleton
+/// {u} when u == v; empty when unreachable).
+std::vector<Vertex> shortest_path_via(const Graph& graph, Vertex u, Vertex v,
+                                      const DistFn& dist);
 
 class PathOracle {
  public:

@@ -234,4 +234,25 @@ Graph make_paper_figure1() {
   return std::move(builder).build();
 }
 
+Graph make_named_graph(const std::string& kind, Vertex n, Rng& rng) {
+  if (kind == "grid") {
+    const auto side =
+        static_cast<Vertex>(isqrt(static_cast<std::uint64_t>(n)));
+    return make_grid2d(side, side, rng);
+  }
+  if (kind == "grid3d") {
+    const auto side =
+        static_cast<Vertex>(std::llround(std::cbrt(static_cast<double>(n))));
+    return make_grid3d(side, side, side, rng);
+  }
+  if (kind == "er") return make_erdos_renyi(n, 8.0, rng);
+  if (kind == "tree") return make_random_tree(n, rng);
+  if (kind == "rmat") return make_rmat(n, 8.0, rng);
+  if (kind == "geometric")
+    return make_random_geometric(
+        n, 2.2 / std::sqrt(static_cast<double>(n)), rng);
+  CAPSP_CHECK_MSG(false, "unknown --graph '" << kind << "'");
+  return Graph();
+}
+
 }  // namespace capsp

@@ -10,6 +10,8 @@
 // All generators are deterministic functions of the supplied Rng.
 #pragma once
 
+#include <string>
+
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -79,5 +81,12 @@ Graph make_small_world(Vertex n, int k, double beta, Rng& rng,
 /// The 7-vertex example of the paper's Figure 1 (unit weights): two
 /// triangles {1,2,3}, {4,5,6} joined through vertex 7 (0-indexed here).
 Graph make_paper_figure1();
+
+/// The CLI tools' shared `--graph <kind>` dispatch: build a ~n-vertex
+/// instance of grid|grid3d|er|tree|rmat|geometric.  apsp_tool and
+/// serve_tool both route through this so "the same flags" means "the same
+/// graph" (a serving run must match the snapshot it queries).
+/// CHECK-fails on an unknown kind.
+Graph make_named_graph(const std::string& kind, Vertex n, Rng& rng);
 
 }  // namespace capsp

@@ -12,6 +12,14 @@ constexpr char kMagic[8] = {'C', 'A', 'P', 'S', 'P', 'D', 'B', '1'};
 
 }  // namespace
 
+void read_exact_bytes(std::istream& is, void* dst, std::streamsize bytes,
+                      const char* what) {
+  is.read(static_cast<char*>(dst), bytes);
+  CAPSP_CHECK_MSG(!is.bad() && is.gcount() == bytes,
+                  "file truncated: wanted " << bytes << " bytes of " << what
+                                            << ", got " << is.gcount());
+}
+
 void write_block(std::ostream& os, const DistBlock& block) {
   os.write(kMagic, sizeof(kMagic));
   const std::int64_t rows = block.rows(), cols = block.cols();
@@ -26,22 +34,21 @@ void write_block(std::ostream& os, const DistBlock& block) {
 
 DistBlock read_block(std::istream& is) {
   char magic[8] = {};
-  is.read(magic, sizeof(magic));
-  CAPSP_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) ==
-                                   0,
+  read_exact_bytes(is, magic, sizeof(magic), "distance-block magic");
+  CAPSP_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
                   "not a capsp distance-block file (bad magic)");
   std::int64_t rows = 0, cols = 0;
-  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  CAPSP_CHECK_MSG(is.good() && rows >= 0 && cols >= 0 &&
-                      rows < (std::int64_t{1} << 32) &&
+  read_exact_bytes(is, &rows, sizeof(rows), "distance-block header");
+  read_exact_bytes(is, &cols, sizeof(cols), "distance-block header");
+  CAPSP_CHECK_MSG(rows >= 0 && cols >= 0 && rows < (std::int64_t{1} << 32) &&
                       cols < (std::int64_t{1} << 32),
                   "block header corrupt: " << rows << "x" << cols);
   DistBlock block(rows, cols);
   if (block.size() > 0) {
-    is.read(reinterpret_cast<char*>(block.data().data()),
-            static_cast<std::streamsize>(block.data().size() * sizeof(Dist)));
-    CAPSP_CHECK_MSG(is.good(), "block payload truncated");
+    read_exact_bytes(is, block.data().data(),
+                     static_cast<std::streamsize>(block.data().size() *
+                                                  sizeof(Dist)),
+                     "distance-block payload");
   }
   // Must be exactly at EOF for a well-formed file.
   is.peek();

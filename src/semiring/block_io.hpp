@@ -6,12 +6,20 @@
 // this is a cache format, not an interchange format).
 #pragma once
 
+#include <ios>
 #include <iosfwd>
 #include <string>
 
 #include "semiring/block.hpp"
 
 namespace capsp {
+
+/// Read exactly `bytes` into `dst`, CHECK-failing with the byte counts and
+/// `what` on a short read — so a truncated or garbage file reports what was
+/// missing instead of a bare stream failure.  Shared by the CAPSPDB1
+/// reader here and the CAPSPDB2 snapshot reader (serve/snapshot).
+void read_exact_bytes(std::istream& is, void* dst, std::streamsize bytes,
+                      const char* what);
 
 void write_block(std::ostream& os, const DistBlock& block);
 DistBlock read_block(std::istream& is);

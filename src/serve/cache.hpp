@@ -1,0 +1,92 @@
+// Sharded LRU tile cache with a byte budget (docs/serving.md).
+//
+// The DistanceService's working set is tiles, not entries: a hot query mix
+// touches a few hundred tiles of a matrix that may not fit in RAM.  The
+// cache is sharded by tile id so concurrent workers contend only when they
+// touch the same shard (the same trick as util/metrics), each shard runs
+// an exact LRU list, and the byte budget is split evenly across shards —
+// so the whole cache never holds more than `byte_budget` bytes of tile
+// payload (plus a fixed per-entry overhead charge).
+//
+// Tiles are handed out as shared_ptr<const DistBlock>: an evicted tile
+// stays alive for any request still reading it, so eviction never races
+// a lookup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "semiring/block.hpp"
+#include "util/metrics.hpp"
+
+namespace capsp {
+
+struct TileCacheOptions {
+  /// Total payload budget across all shards.
+  std::int64_t byte_budget = 16 << 20;
+  int shards = 8;
+};
+
+class TileCache {
+ public:
+  /// Bookkeeping charge per cached tile on top of its payload bytes
+  /// (list/map nodes, control block); keeps a budget of tiny tiles from
+  /// admitting an unbounded entry count.
+  static constexpr std::int64_t kEntryOverheadBytes = 64;
+
+  /// Hit/miss/eviction counters also land in `registry` under
+  /// `serve.cache.*` so they show up in the service's metrics snapshot.
+  TileCache(TileCacheOptions options, MetricsRegistry& registry);
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Cached tile, or nullptr on miss.  A hit refreshes recency.
+  std::shared_ptr<const DistBlock> get(std::int64_t tile_id);
+
+  /// Insert (or refresh) a tile, evicting least-recently-used entries of
+  /// the shard until it is back under its budget share.  Returns the
+  /// cached pointer.
+  std::shared_ptr<const DistBlock> put(std::int64_t tile_id, DistBlock tile);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t bytes = 0;
+    std::int64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::int64_t id = 0;
+    std::shared_ptr<const DistBlock> tile;
+    std::int64_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::int64_t, std::list<Entry>::iterator> index;
+    std::int64_t bytes = 0;
+  };
+
+  Shard& shard_for(std::int64_t tile_id) {
+    return shards_[static_cast<std::size_t>(tile_id) % shards_.size()];
+  }
+
+  std::int64_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+  MetricsRegistry& registry_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> bytes_{0};
+  std::atomic<std::int64_t> entries_{0};
+};
+
+}  // namespace capsp

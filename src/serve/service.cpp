@@ -1,0 +1,410 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "core/path_oracle.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace capsp {
+namespace {
+
+double to_micros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+const char* outcome_counter(ServeError error) {
+  switch (error) {
+    case ServeError::kOk: return "serve.request.ok";
+    case ServeError::kOverloaded: return "serve.request.overloaded";
+    case ServeError::kDeadlineExceeded:
+      return "serve.request.deadline_exceeded";
+    case ServeError::kShutdown: return "serve.request.shutdown";
+  }
+  return "serve.request.ok";
+}
+
+}  // namespace
+
+const char* to_string(ServeError error) {
+  switch (error) {
+    case ServeError::kOk: return "ok";
+    case ServeError::kOverloaded: return "overloaded";
+    case ServeError::kDeadlineExceeded: return "deadline_exceeded";
+    case ServeError::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+DistanceService::DistanceService(std::shared_ptr<SnapshotReader> snapshot,
+                                 Graph graph, ServeOptions options)
+    : graph_(std::move(graph)),
+      snapshot_(std::move(snapshot)),
+      options_(options),
+      cache_({options.cache_bytes, options.cache_shards}, registry_) {
+  CAPSP_CHECK_MSG(snapshot_ != nullptr, "DistanceService needs a snapshot");
+  const SnapshotHeader& h = snapshot_->header();
+  CAPSP_CHECK_MSG(h.rows == graph_.num_vertices() &&
+                      h.cols == graph_.num_vertices(),
+                  "snapshot is " << h.rows << "x" << h.cols
+                                 << ", graph has " << graph_.num_vertices()
+                                 << " vertices");
+  CAPSP_CHECK_MSG(options_.threads >= 1,
+                  "service needs >= 1 worker, got " << options_.threads);
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+DistanceService::~DistanceService() { stop(); }
+
+void DistanceService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void DistanceService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const bool expired = Clock::now() > job.deadline;
+    job.run(expired);
+  }
+}
+
+DistanceService::Clock::time_point DistanceService::deadline_from(
+    double deadline_seconds, Clock::time_point now) const {
+  const double seconds = deadline_seconds < 0
+                             ? options_.default_deadline_seconds
+                             : deadline_seconds;
+  if (seconds <= 0) return Clock::time_point::max();
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(seconds));
+}
+
+bool DistanceService::submit(Job job,
+                             const std::function<void(ServeError)>& reject) {
+  registry_.counter_add(std::string("serve.request.") + job.kind);
+  ServeError verdict = ServeError::kOk;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      verdict = ServeError::kShutdown;
+    } else if (queue_.size() >= options_.max_queue) {
+      verdict = ServeError::kOverloaded;
+    } else {
+      queue_.push_back(std::move(job));
+      registry_.gauge_max("serve.queue.depth",
+                          static_cast<double>(queue_.size()));
+    }
+  }
+  if (verdict != ServeError::kOk) {
+    registry_.counter_add(outcome_counter(verdict));
+    reject(verdict);
+    return false;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void DistanceService::record_outcome(Clock::time_point enqueue,
+                                     ServeError error) {
+  registry_.observe("serve.request.latency_us",
+                    to_micros(Clock::now() - enqueue));
+  registry_.counter_add(outcome_counter(error));
+}
+
+std::shared_ptr<const DistBlock> DistanceService::fetch_tile(
+    std::int64_t tile_id) {
+  if (auto tile = cache_.get(tile_id)) return tile;
+  DistBlock loaded = snapshot_->read_tile(tile_id);
+  registry_.counter_add("serve.io.tiles_loaded");
+  registry_.counter_add("serve.io.bytes_read",
+                        loaded.size() *
+                            static_cast<std::int64_t>(sizeof(Dist)));
+  return cache_.put(tile_id, std::move(loaded));
+}
+
+Dist DistanceService::lookup(Vertex u, Vertex v) {
+  const std::int64_t t = snapshot_->header().tile_dim;
+  const std::int64_t tr = u / t, tc = v / t;
+  const auto tile = fetch_tile(snapshot_->header().tile_id(tr, tc));
+  return tile->at(u - tr * t, v - tc * t);
+}
+
+DistanceReply DistanceService::do_distance(Vertex u, Vertex v) {
+  return {ServeError::kOk, lookup(u, v)};
+}
+
+PathReply DistanceService::do_path(Vertex u, Vertex v,
+                                   Clock::time_point deadline) {
+  PathReply reply;
+  reply.distance = lookup(u, v);
+  if (is_inf(reply.distance)) return reply;  // unreachable: ok, empty path
+  const auto dist_fn = [this](Vertex a, Vertex b) { return lookup(a, b); };
+  std::vector<Vertex> path{u};
+  Vertex cursor = u;
+  for (Vertex steps = 0; cursor != v; ++steps) {
+    if (Clock::now() > deadline) {
+      reply.error = ServeError::kDeadlineExceeded;
+      return reply;
+    }
+    CAPSP_CHECK_MSG(steps < graph_.num_vertices(),
+                    "path reconstruction looped; inconsistent inputs");
+    cursor = next_hop_via(graph_, cursor, v, dist_fn);
+    path.push_back(cursor);
+  }
+  registry_.observe("serve.path.hops",
+                    static_cast<double>(path.size() - 1));
+  reply.path = std::move(path);
+  return reply;
+}
+
+KNearestReply DistanceService::do_k_nearest(Vertex u, int k,
+                                            Clock::time_point deadline) {
+  KNearestReply reply;
+  if (k <= 0) return reply;
+  const SnapshotHeader& h = snapshot_->header();
+  const std::int64_t t = h.tile_dim;
+  const std::int64_t tr = u / t;
+  // Max-heap of the k best (distance, vertex) seen so far: top = worst
+  // kept candidate, so pair ordering gives the (distance, id) tie-break.
+  std::priority_queue<std::pair<Dist, Vertex>> heap;
+  for (std::int64_t tc = 0; tc < h.tile_cols(); ++tc) {
+    if (Clock::now() > deadline) {
+      reply.error = ServeError::kDeadlineExceeded;
+      return reply;
+    }
+    const auto tile = fetch_tile(h.tile_id(tr, tc));
+    const std::int64_t row = u - tr * t;
+    for (std::int64_t c = 0; c < tile->cols(); ++c) {
+      const auto v = static_cast<Vertex>(tc * t + c);
+      if (v == u) continue;
+      const Dist d = tile->at(row, c);
+      if (is_inf(d)) continue;
+      if (heap.size() < static_cast<std::size_t>(k)) {
+        heap.emplace(d, v);
+      } else if (std::pair<Dist, Vertex>(d, v) < heap.top()) {
+        heap.pop();
+        heap.emplace(d, v);
+      }
+    }
+  }
+  reply.nearest.resize(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0; heap.pop())
+    reply.nearest[i] = {heap.top().second, heap.top().first};
+  return reply;
+}
+
+std::future<DistanceReply> DistanceService::distance_async(
+    Vertex u, Vertex v, double deadline_seconds) {
+  CAPSP_CHECK_MSG(u >= 0 && u < num_vertices() && v >= 0 &&
+                      v < num_vertices(),
+                  "query (" << u << "," << v << ") outside [0,"
+                            << num_vertices() << ")");
+  auto promise = std::make_shared<std::promise<DistanceReply>>();
+  std::future<DistanceReply> future = promise->get_future();
+  const auto now = Clock::now();
+  Job job;
+  job.enqueue = now;
+  job.deadline = deadline_from(deadline_seconds, now);
+  job.kind = "distance";
+  job.run = [this, u, v, promise, enqueue = now](bool expired) {
+    DistanceReply reply = expired
+                              ? DistanceReply{ServeError::kDeadlineExceeded,
+                                              kInf}
+                              : do_distance(u, v);
+    record_outcome(enqueue, reply.error);
+    promise->set_value(reply);
+  };
+  submit(std::move(job), [promise](ServeError error) {
+    promise->set_value({error, kInf});
+  });
+  return future;
+}
+
+std::future<PathReply> DistanceService::shortest_path_async(
+    Vertex u, Vertex v, double deadline_seconds) {
+  CAPSP_CHECK_MSG(u >= 0 && u < num_vertices() && v >= 0 &&
+                      v < num_vertices(),
+                  "query (" << u << "," << v << ") outside [0,"
+                            << num_vertices() << ")");
+  auto promise = std::make_shared<std::promise<PathReply>>();
+  std::future<PathReply> future = promise->get_future();
+  const auto now = Clock::now();
+  Job job;
+  job.enqueue = now;
+  job.deadline = deadline_from(deadline_seconds, now);
+  job.kind = "path";
+  job.run = [this, u, v, promise, enqueue = now,
+             deadline = job.deadline](bool expired) {
+    PathReply reply;
+    if (expired)
+      reply.error = ServeError::kDeadlineExceeded;
+    else
+      reply = do_path(u, v, deadline);
+    record_outcome(enqueue, reply.error);
+    promise->set_value(std::move(reply));
+  };
+  submit(std::move(job), [promise](ServeError error) {
+    PathReply reply;
+    reply.error = error;
+    promise->set_value(std::move(reply));
+  });
+  return future;
+}
+
+std::future<KNearestReply> DistanceService::k_nearest_async(
+    Vertex u, int k, double deadline_seconds) {
+  CAPSP_CHECK_MSG(u >= 0 && u < num_vertices(),
+                  "query vertex " << u << " outside [0," << num_vertices()
+                                  << ")");
+  auto promise = std::make_shared<std::promise<KNearestReply>>();
+  std::future<KNearestReply> future = promise->get_future();
+  const auto now = Clock::now();
+  Job job;
+  job.enqueue = now;
+  job.deadline = deadline_from(deadline_seconds, now);
+  job.kind = "knear";
+  job.run = [this, u, k, promise, enqueue = now,
+             deadline = job.deadline](bool expired) {
+    KNearestReply reply;
+    if (expired)
+      reply.error = ServeError::kDeadlineExceeded;
+    else
+      reply = do_k_nearest(u, k, deadline);
+    record_outcome(enqueue, reply.error);
+    promise->set_value(std::move(reply));
+  };
+  submit(std::move(job), [promise](ServeError error) {
+    KNearestReply reply;
+    reply.error = error;
+    promise->set_value(std::move(reply));
+  });
+  return future;
+}
+
+DistanceReply DistanceService::distance(Vertex u, Vertex v,
+                                        double deadline_seconds) {
+  return distance_async(u, v, deadline_seconds).get();
+}
+
+PathReply DistanceService::shortest_path(Vertex u, Vertex v,
+                                         double deadline_seconds) {
+  return shortest_path_async(u, v, deadline_seconds).get();
+}
+
+KNearestReply DistanceService::k_nearest(Vertex u, int k,
+                                         double deadline_seconds) {
+  return k_nearest_async(u, k, deadline_seconds).get();
+}
+
+std::vector<DistanceReply> DistanceService::distance_batch(
+    std::span<const std::pair<Vertex, Vertex>> pairs,
+    double deadline_seconds) {
+  std::vector<std::future<DistanceReply>> futures;
+  futures.reserve(pairs.size());
+  for (const auto& [u, v] : pairs)
+    futures.push_back(distance_async(u, v, deadline_seconds));
+  std::vector<DistanceReply> replies;
+  replies.reserve(pairs.size());
+  for (auto& future : futures) replies.push_back(future.get());
+  return replies;
+}
+
+void DistanceService::write_summary_fields(JsonWriter& json) const {
+  const MetricsSnapshot metrics = registry_.snapshot();
+  const auto counter = [&metrics](const std::string& name) -> std::int64_t {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? 0 : it->second.counter;
+  };
+  const SnapshotHeader& h = snapshot_->header();
+  json.key("serve");
+  json.begin_object();
+  json.key("snapshot");
+  json.begin_object();
+  json.field("rows", h.rows);
+  json.field("cols", h.cols);
+  json.field("tile_dim", h.tile_dim);
+  json.field("tiles", h.num_tiles());
+  json.field("file_backed", snapshot_->file_backed());
+  json.end_object();
+  json.field("threads", options_.threads);
+  json.field("cache_bytes", options_.cache_bytes);
+  json.field("max_queue", static_cast<std::int64_t>(options_.max_queue));
+  json.field("default_deadline_seconds", options_.default_deadline_seconds);
+
+  const std::int64_t ok = counter("serve.request.ok");
+  const std::int64_t overloaded = counter("serve.request.overloaded");
+  const std::int64_t expired = counter("serve.request.deadline_exceeded");
+  const std::int64_t shutdown = counter("serve.request.shutdown");
+  json.key("requests");
+  json.begin_object();
+  json.field("total", ok + overloaded + expired + shutdown);
+  json.field("ok", ok);
+  json.field("overloaded", overloaded);
+  json.field("deadline_exceeded", expired);
+  json.field("shutdown", shutdown);
+  json.field("distance", counter("serve.request.distance"));
+  json.field("path", counter("serve.request.path"));
+  json.field("knear", counter("serve.request.knear"));
+  json.end_object();
+
+  const TileCache::Stats cache = cache_.stats();
+  json.key("cache");
+  json.begin_object();
+  json.field("hits", cache.hits);
+  json.field("misses", cache.misses);
+  json.field("evictions", cache.evictions);
+  json.field("bytes", cache.bytes);
+  json.field("entries", cache.entries);
+  const std::int64_t lookups = cache.hits + cache.misses;
+  json.field("hit_rate",
+             lookups > 0 ? static_cast<double>(cache.hits) /
+                               static_cast<double>(lookups)
+                         : 0.0);
+  json.end_object();
+
+  json.field("bytes_read", counter("serve.io.bytes_read"));
+  json.key("latency_us");
+  json.begin_object();
+  if (const auto it = metrics.find("serve.request.latency_us");
+      it != metrics.end()) {
+    const Histogram& hist = it->second.histogram;
+    json.field("count", hist.count);
+    json.field("mean", hist.mean());
+    json.field("p50", hist.percentile(0.50));
+    json.field("p95", hist.percentile(0.95));
+    json.field("max", hist.max);
+  } else {
+    json.field("count", std::int64_t{0});
+  }
+  json.end_object();
+  json.end_object();
+
+  write_metrics_fields(json, metrics);
+}
+
+void DistanceService::write_summary_json(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  write_summary_fields(json);
+  json.end_object();
+  out << "\n";
+}
+
+}  // namespace capsp

@@ -1,0 +1,193 @@
+// DistanceService: the concurrent query engine of the serving layer
+// (docs/serving.md).
+//
+// The paper's pipeline is "precompute communication-optimally once"; this
+// is the "answer many queries cheaply" half.  A service owns a worker
+// thread pool, a sharded LRU tile cache (serve/cache) over a snapshot
+// (serve/snapshot), and the graph for next-hop path reconstruction
+// (reusing core/path_oracle's `next_hop_via`).  Three query families:
+//
+//   distance(u, v)       one tile touch;
+//   shortest_path(u, v)  next-hop walk, O(len · deg) distance lookups;
+//   k_nearest(u, k)      scan of u's tile row, heap-selected.
+//
+// Requests carry deadlines and the queue a depth bound, so an overloaded
+// service degrades gracefully — a structured ServeError instead of
+// unbounded blocking, in the spirit of machine/watchdog's "fail with a
+// report, never hang".  Every request lands in the service's own
+// MetricsRegistry (util/metrics, `serve.*` names): latency histograms,
+// hit/miss counters, queue-depth gauges, bytes read — summarized as JSON
+// by write_summary_json for scripts/trace_summary.py serve.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "serve/cache.hpp"
+#include "serve/snapshot.hpp"
+#include "util/metrics.hpp"
+
+namespace capsp {
+
+class JsonWriter;
+
+/// Structured request outcome.  kOk replies carry a value; the error
+/// replies are the graceful-degradation contract: a caller always gets an
+/// answer or a reason, never an indefinite block.
+enum class ServeError {
+  kOk = 0,
+  kOverloaded,        ///< queue was at max_queue when the request arrived
+  kDeadlineExceeded,  ///< deadline passed while queued or mid-computation
+  kShutdown,          ///< submitted after stop()
+};
+
+const char* to_string(ServeError error);
+
+struct ServeOptions {
+  int threads = 4;
+  /// Tile-cache budget; make it smaller than the matrix to bound resident
+  /// memory (the whole point of the tiled snapshot format).
+  std::int64_t cache_bytes = 16 << 20;
+  int cache_shards = 8;
+  /// Admission bound: requests beyond this queue depth are rejected with
+  /// kOverloaded instead of queued without bound (0 admits nothing —
+  /// every request is rejected, which makes overload handling testable).
+  std::size_t max_queue = 4096;
+  /// Deadline applied when a request does not carry its own; 0 = none.
+  double default_deadline_seconds = 0;
+};
+
+struct DistanceReply {
+  ServeError error = ServeError::kOk;
+  Dist distance = kInf;  ///< kInf = unreachable (not an error)
+};
+
+struct PathReply {
+  ServeError error = ServeError::kOk;
+  Dist distance = kInf;
+  std::vector<Vertex> path;  ///< empty when unreachable
+};
+
+struct NearVertex {
+  Vertex vertex = -1;
+  Dist distance = kInf;
+  friend bool operator==(const NearVertex&, const NearVertex&) = default;
+};
+
+struct KNearestReply {
+  ServeError error = ServeError::kOk;
+  /// Up to k reachable vertices nearest to u (u excluded), sorted by
+  /// (distance, vertex id).
+  std::vector<NearVertex> nearest;
+};
+
+class DistanceService {
+ public:
+  /// `snapshot` must be the n×n matrix of `graph` (zero diagonal is the
+  /// producer's invariant, checked lazily by path reconstruction).
+  DistanceService(std::shared_ptr<SnapshotReader> snapshot, Graph graph,
+                  ServeOptions options = {});
+  ~DistanceService();
+  DistanceService(const DistanceService&) = delete;
+  DistanceService& operator=(const DistanceService&) = delete;
+
+  Vertex num_vertices() const { return graph_.num_vertices(); }
+  const Graph& graph() const { return graph_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Async API: the future resolves to a reply (possibly an error reply);
+  /// it never throws for overload/deadline.  deadline_seconds < 0 means
+  /// "use the service default".
+  std::future<DistanceReply> distance_async(Vertex u, Vertex v,
+                                            double deadline_seconds = -1);
+  std::future<PathReply> shortest_path_async(Vertex u, Vertex v,
+                                             double deadline_seconds = -1);
+  std::future<KNearestReply> k_nearest_async(Vertex u, int k,
+                                             double deadline_seconds = -1);
+
+  /// Blocking conveniences over the async API.
+  DistanceReply distance(Vertex u, Vertex v, double deadline_seconds = -1);
+  PathReply shortest_path(Vertex u, Vertex v, double deadline_seconds = -1);
+  KNearestReply k_nearest(Vertex u, int k, double deadline_seconds = -1);
+
+  /// Submit every pair, then collect — batching amortizes queue wakeups
+  /// and lets the pool overlap tile IO across the batch.
+  std::vector<DistanceReply> distance_batch(
+      std::span<const std::pair<Vertex, Vertex>> pairs,
+      double deadline_seconds = -1);
+
+  /// Stop admitting requests, drain the queue, join the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  TileCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Snapshot of the service's own registry (`serve.*` metrics).
+  MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
+  /// Merge the service's metrics into `target` (e.g. the global registry,
+  /// for tools that emit one combined --metrics-json).
+  void merge_metrics_into(MetricsRegistry& target) const {
+    target.merge_from(registry_);
+  }
+
+  /// CostReport-style summary: a "serve" section (config, request/error
+  /// totals, cache hit rate, latency percentiles) plus the full metrics
+  /// registry.  write_summary_fields composes into an open JSON object;
+  /// write_summary_json wraps a whole document around it.
+  void write_summary_fields(JsonWriter& json) const;
+  void write_summary_json(std::ostream& out) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Clock::time_point enqueue;
+    Clock::time_point deadline;  // time_point::max() = none
+    const char* kind = "";
+    /// Runs on a worker; `expired` is the queued-too-long verdict.
+    std::function<void(bool expired)> run;
+  };
+
+  /// Admission control + enqueue; returns false (after failing the
+  /// promise via `reject`) when overloaded or stopped.
+  bool submit(Job job, const std::function<void(ServeError)>& reject);
+  void worker_loop();
+  Clock::time_point deadline_from(double deadline_seconds,
+                                  Clock::time_point now) const;
+
+  /// Tile fetch through the cache; counts IO metrics on miss.
+  std::shared_ptr<const DistBlock> fetch_tile(std::int64_t tile_id);
+  /// One matrix entry via its tile.
+  Dist lookup(Vertex u, Vertex v);
+
+  DistanceReply do_distance(Vertex u, Vertex v);
+  PathReply do_path(Vertex u, Vertex v, Clock::time_point deadline);
+  KNearestReply do_k_nearest(Vertex u, int k, Clock::time_point deadline);
+
+  void record_outcome(Clock::time_point enqueue, ServeError error);
+
+  Graph graph_;
+  std::shared_ptr<SnapshotReader> snapshot_;
+  ServeOptions options_;
+  MetricsRegistry registry_;
+  TileCache cache_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace capsp

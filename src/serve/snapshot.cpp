@@ -1,0 +1,253 @@
+#include "serve/snapshot.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "machine/reliable.hpp"
+#include "semiring/block_io.hpp"
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+constexpr char kMagicV2[8] = {'C', 'A', 'P', 'S', 'P', 'D', 'B', '2'};
+constexpr char kMagicV1[8] = {'C', 'A', 'P', 'S', 'P', 'D', 'B', '1'};
+
+constexpr std::int64_t kHeaderBytes =
+    8 + 3 * static_cast<std::int64_t>(sizeof(std::int64_t));
+constexpr std::int64_t kIndexEntryBytes =
+    2 * static_cast<std::int64_t>(sizeof(std::int64_t));
+
+std::int64_t payload_offset(const SnapshotHeader& header) {
+  return kHeaderBytes + header.num_tiles() * kIndexEntryBytes;
+}
+
+std::int64_t tile_payload_bytes(const SnapshotHeader& header,
+                                std::int64_t tile_id) {
+  const std::int64_t tr = tile_id / header.tile_cols();
+  const std::int64_t tc = tile_id % header.tile_cols();
+  return header.tile_row_dim(tr) * header.tile_col_dim(tc) *
+         static_cast<std::int64_t>(sizeof(Dist));
+}
+
+void check_header_sane(const SnapshotHeader& header,
+                       const std::string& path) {
+  CAPSP_CHECK_MSG(header.rows >= 0 && header.cols >= 0 &&
+                      header.rows < (std::int64_t{1} << 32) &&
+                      header.cols < (std::int64_t{1} << 32),
+                  "snapshot " << path << " header corrupt: " << header.rows
+                              << "x" << header.cols);
+  CAPSP_CHECK_MSG(header.tile_dim >= 1 &&
+                      header.tile_dim < (std::int64_t{1} << 32),
+                  "snapshot " << path << " has bad tile_dim "
+                              << header.tile_dim);
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(const std::string& path, std::int64_t rows,
+                               std::int64_t cols, std::int64_t tile_dim)
+    : header_{rows, cols, tile_dim}, path_(path) {
+  CAPSP_CHECK_MSG(rows >= 0 && cols >= 0, "snapshot dims " << rows << "x"
+                                                           << cols);
+  CAPSP_CHECK_MSG(tile_dim >= 1, "tile_dim must be >= 1, got " << tile_dim);
+  file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                       std::ios::trunc);
+  CAPSP_CHECK_MSG(file_.good(), "cannot open " << path << " for writing");
+  file_.write(kMagicV2, sizeof(kMagicV2));
+  file_.write(reinterpret_cast<const char*>(&header_.rows),
+              sizeof(header_.rows));
+  file_.write(reinterpret_cast<const char*>(&header_.cols),
+              sizeof(header_.cols));
+  file_.write(reinterpret_cast<const char*>(&header_.tile_dim),
+              sizeof(header_.tile_dim));
+  // Placeholder index, backpatched with real checksums in close().  The
+  // offsets are fully determined by the geometry, so fill them in now.
+  offsets_.reserve(static_cast<std::size_t>(header_.num_tiles()));
+  checksums_.assign(static_cast<std::size_t>(header_.num_tiles()), 0);
+  std::int64_t offset = payload_offset(header_);
+  for (std::int64_t t = 0; t < header_.num_tiles(); ++t) {
+    offsets_.push_back(offset);
+    offset += tile_payload_bytes(header_, t);
+  }
+  for (std::int64_t t = 0; t < header_.num_tiles(); ++t) {
+    file_.write(reinterpret_cast<const char*>(&offsets_[
+                    static_cast<std::size_t>(t)]),
+                sizeof(std::int64_t));
+    const std::int64_t zero = 0;
+    file_.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  }
+  CAPSP_CHECK_MSG(file_.good(), "snapshot header write failed for " << path);
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  // A forgotten close() on a fully written snapshot is finalized here; an
+  // abandoned half-written one is left invalid on disk (destructors must
+  // not throw), which the reader's structural checks will reject.
+  if (!closed_ && next_tile_ == header_.num_tiles()) {
+    try {
+      close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+}
+
+void SnapshotWriter::write_tile(const DistBlock& tile) {
+  CAPSP_CHECK_MSG(!closed_, "write_tile after close on " << path_);
+  CAPSP_CHECK_MSG(next_tile_ < header_.num_tiles(),
+                  "snapshot " << path_ << " already has all "
+                              << header_.num_tiles() << " tiles");
+  const std::int64_t tr = next_tile_ / header_.tile_cols();
+  const std::int64_t tc = next_tile_ % header_.tile_cols();
+  CAPSP_CHECK_MSG(tile.rows() == header_.tile_row_dim(tr) &&
+                      tile.cols() == header_.tile_col_dim(tc),
+                  "tile " << next_tile_ << " is " << tile.rows() << "x"
+                          << tile.cols() << ", geometry wants "
+                          << header_.tile_row_dim(tr) << "x"
+                          << header_.tile_col_dim(tc));
+  checksums_[static_cast<std::size_t>(next_tile_)] =
+      static_cast<std::int64_t>(frame_checksum(next_tile_, tile.data()));
+  if (tile.size() > 0)
+    file_.write(reinterpret_cast<const char*>(tile.data().data()),
+                static_cast<std::streamsize>(tile.data().size() *
+                                             sizeof(Dist)));
+  CAPSP_CHECK_MSG(file_.good(), "tile write failed for " << path_);
+  ++next_tile_;
+}
+
+void SnapshotWriter::close() {
+  if (closed_) return;
+  CAPSP_CHECK_MSG(next_tile_ == header_.num_tiles(),
+                  "snapshot " << path_ << " closed after " << next_tile_
+                              << " of " << header_.num_tiles() << " tiles");
+  file_.seekp(kHeaderBytes);
+  for (std::int64_t t = 0; t < header_.num_tiles(); ++t) {
+    file_.write(reinterpret_cast<const char*>(&offsets_[
+                    static_cast<std::size_t>(t)]),
+                sizeof(std::int64_t));
+    file_.write(reinterpret_cast<const char*>(&checksums_[
+                    static_cast<std::size_t>(t)]),
+                sizeof(std::int64_t));
+  }
+  file_.flush();
+  CAPSP_CHECK_MSG(file_.good(), "snapshot index write failed for " << path_);
+  file_.close();
+  closed_ = true;
+}
+
+void write_snapshot(const std::string& path, const DistBlock& matrix,
+                    std::int64_t tile_dim) {
+  SnapshotWriter writer(path, matrix.rows(), matrix.cols(), tile_dim);
+  const SnapshotHeader& h = writer.header();
+  for (std::int64_t tr = 0; tr < h.tile_rows(); ++tr)
+    for (std::int64_t tc = 0; tc < h.tile_cols(); ++tc)
+      writer.write_tile(matrix.sub_block(tr * tile_dim, tc * tile_dim,
+                                         h.tile_row_dim(tr),
+                                         h.tile_col_dim(tc)));
+  writer.close();
+}
+
+void upgrade_snapshot(const std::string& db1_path,
+                      const std::string& db2_path, std::int64_t tile_dim) {
+  write_snapshot(db2_path, load_block(db1_path), tile_dim);
+}
+
+SnapshotReader::SnapshotReader(const std::string& path,
+                               std::int64_t legacy_tile_dim) {
+  std::ifstream is(path, std::ios::binary);
+  CAPSP_CHECK_MSG(is.good(), "cannot open " << path);
+  is.seekg(0, std::ios::end);
+  const std::int64_t file_size = static_cast<std::int64_t>(is.tellg());
+  is.seekg(0);
+  char magic[8] = {};
+  read_exact_bytes(is, magic, sizeof(magic), "snapshot magic");
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    // Legacy monolithic cache: load it whole and tile it virtually.
+    matrix_ = load_block(path);
+    header_ = {matrix_.rows(), matrix_.cols(), legacy_tile_dim};
+    check_header_sane(header_, path);
+    return;
+  }
+  CAPSP_CHECK_MSG(std::memcmp(magic, kMagicV2, sizeof(magic)) == 0,
+                  "not a capsp snapshot (bad magic) in " << path);
+  read_exact_bytes(is, &header_.rows, sizeof(header_.rows), "snapshot rows");
+  read_exact_bytes(is, &header_.cols, sizeof(header_.cols), "snapshot cols");
+  read_exact_bytes(is, &header_.tile_dim, sizeof(header_.tile_dim),
+                   "snapshot tile_dim");
+  check_header_sane(header_, path);
+  open_tiled(is, file_size);
+  is.close();
+  file_.open(path, std::ios::binary);
+  CAPSP_CHECK_MSG(file_.good(), "cannot reopen " << path);
+  file_backed_ = true;
+}
+
+SnapshotReader::SnapshotReader(DistBlock matrix, std::int64_t tile_dim)
+    : matrix_(std::move(matrix)) {
+  CAPSP_CHECK_MSG(tile_dim >= 1, "tile_dim must be >= 1, got " << tile_dim);
+  header_ = {matrix_.rows(), matrix_.cols(), tile_dim};
+}
+
+void SnapshotReader::open_tiled(std::ifstream& is, std::int64_t file_size) {
+  const std::int64_t tiles = header_.num_tiles();
+  offsets_.resize(static_cast<std::size_t>(tiles));
+  checksums_.resize(static_cast<std::size_t>(tiles));
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    read_exact_bytes(is, &offsets_[static_cast<std::size_t>(t)],
+                     sizeof(std::int64_t), "snapshot tile index");
+    read_exact_bytes(is, &checksums_[static_cast<std::size_t>(t)],
+                     sizeof(std::int64_t), "snapshot tile index");
+  }
+  // Structural validation before serving a single byte: the offsets must
+  // be exactly the geometry-derived layout and the file exactly the
+  // payloads' extent — anything else is truncation or corruption.
+  std::int64_t expected = payload_offset(header_);
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    CAPSP_CHECK_MSG(offsets_[static_cast<std::size_t>(t)] == expected,
+                    "snapshot tile " << t << " offset "
+                                     << offsets_[static_cast<std::size_t>(t)]
+                                     << " != expected " << expected
+                                     << " (corrupt index)");
+    expected += tile_payload_bytes(header_, t);
+  }
+  CAPSP_CHECK_MSG(file_size == expected,
+                  "snapshot is " << file_size << " bytes, geometry wants "
+                                 << expected
+                                 << " (truncated or trailing bytes)");
+}
+
+std::int64_t SnapshotReader::tile_bytes(std::int64_t tile_id) const {
+  CAPSP_CHECK_MSG(tile_id >= 0 && tile_id < header_.num_tiles(),
+                  "tile " << tile_id << " outside [0," << header_.num_tiles()
+                          << ")");
+  return tile_payload_bytes(header_, tile_id);
+}
+
+DistBlock SnapshotReader::read_tile(std::int64_t tile_id) const {
+  CAPSP_CHECK_MSG(tile_id >= 0 && tile_id < header_.num_tiles(),
+                  "tile " << tile_id << " outside [0," << header_.num_tiles()
+                          << ")");
+  const std::int64_t tr = tile_id / header_.tile_cols();
+  const std::int64_t tc = tile_id % header_.tile_cols();
+  if (!file_backed_)
+    return matrix_.sub_block(tr * header_.tile_dim, tc * header_.tile_dim,
+                             header_.tile_row_dim(tr),
+                             header_.tile_col_dim(tc));
+  DistBlock tile(header_.tile_row_dim(tr), header_.tile_col_dim(tc));
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    file_.seekg(offsets_[static_cast<std::size_t>(tile_id)]);
+    read_exact_bytes(file_, tile.data().data(),
+                     static_cast<std::streamsize>(tile.data().size() *
+                                                  sizeof(Dist)),
+                     "snapshot tile payload");
+  }
+  CAPSP_CHECK_MSG(
+      frame_checksum(tile_id, tile.data()) ==
+          static_cast<std::uint64_t>(
+              checksums_[static_cast<std::size_t>(tile_id)]),
+      "snapshot tile " << tile_id << " failed its checksum (corrupt file)");
+  return tile;
+}
+
+}  // namespace capsp

@@ -1,0 +1,152 @@
+// Tiled on-disk distance-matrix snapshots — the storage side of the
+// serving layer (docs/serving.md).
+//
+// The monolithic CAPSPDB1 cache (semiring/block_io) must be loaded whole
+// before the first query, so a matrix larger than RAM cannot be served at
+// all and a small query pays the full n² load.  CAPSPDB2 stores the same
+// matrix as fixed-size square tiles behind a seekable index, so a
+// DistanceService can fault in only the tiles a query touches and cap its
+// resident set with a tile cache:
+//
+//   bytes 0..7   magic "CAPSPDB2"
+//   int64        rows, cols, tile_dim          (native endianness, like DB1)
+//   per tile     int64 offset, int64 checksum  (row-major over the
+//                ⌈rows/tile⌉ × ⌈cols/tile⌉ tile grid)
+//   payloads     row-major doubles per tile; edge tiles are clipped to the
+//                matrix, so payload sizes vary but are fully determined by
+//                the header
+//
+// The per-tile checksum is the 48-bit FNV-1a `frame_checksum` from
+// machine/reliable, keyed by the tile id, so a flipped bit or swapped tile
+// is caught on read, not served as a wrong distance.  Offsets are derivable
+// from the header; storing them anyway lets the reader cross-check the file
+// structurally before serving from it.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "semiring/block.hpp"
+
+namespace capsp {
+
+inline constexpr std::int64_t kDefaultTileDim = 64;
+
+/// Geometry of a tiled snapshot: matrix dimensions plus the tile grid
+/// derived from them.  Tile (tr, tc) covers rows [tr·t, min((tr+1)·t, rows))
+/// and the analogous column range; tiles are numbered row-major.
+struct SnapshotHeader {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t tile_dim = kDefaultTileDim;
+
+  std::int64_t tile_rows() const { return (rows + tile_dim - 1) / tile_dim; }
+  std::int64_t tile_cols() const { return (cols + tile_dim - 1) / tile_dim; }
+  std::int64_t num_tiles() const { return tile_rows() * tile_cols(); }
+  std::int64_t tile_id(std::int64_t tr, std::int64_t tc) const {
+    return tr * tile_cols() + tc;
+  }
+  /// Actual row count of tile row `tr` (edge tiles are clipped).
+  std::int64_t tile_row_dim(std::int64_t tr) const {
+    return std::min(tile_dim, rows - tr * tile_dim);
+  }
+  std::int64_t tile_col_dim(std::int64_t tc) const {
+    return std::min(tile_dim, cols - tc * tile_dim);
+  }
+};
+
+/// Streaming CAPSPDB2 writer: construct with the geometry, feed tiles in
+/// row-major tile order (each sized tile_row_dim × tile_col_dim), then
+/// close().  Only O(tile) memory is held, so a producer that computes the
+/// matrix in stripes can emit a snapshot larger than RAM.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(const std::string& path, std::int64_t rows,
+                 std::int64_t cols, std::int64_t tile_dim = kDefaultTileDim);
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  const SnapshotHeader& header() const { return header_; }
+
+  /// Append the next tile (the writer tracks the row-major cursor); the
+  /// dimensions must match the header's clipped tile geometry.
+  void write_tile(const DistBlock& tile);
+
+  /// Backpatch the checksum index and flush.  CHECK-fails unless every
+  /// tile was written.  Called by the destructor if forgotten, but an
+  /// explicit call gives the error a useful stack.
+  void close();
+
+ private:
+  SnapshotHeader header_;
+  std::string path_;
+  std::fstream file_;
+  std::vector<std::int64_t> offsets_;
+  std::vector<std::int64_t> checksums_;
+  std::int64_t next_tile_ = 0;
+  bool closed_ = false;
+};
+
+/// One-shot convenience: tile an in-memory matrix into `path`.
+void write_snapshot(const std::string& path, const DistBlock& matrix,
+                    std::int64_t tile_dim = kDefaultTileDim);
+
+/// Upgrade a CAPSPDB1 cache file (semiring/block_io) to a CAPSPDB2
+/// snapshot, preserving every entry bit-exactly.
+void upgrade_snapshot(const std::string& db1_path, const std::string& db2_path,
+                      std::int64_t tile_dim = kDefaultTileDim);
+
+/// Read side.  Two backings behind one interface:
+///   * file-backed — a CAPSPDB2 file, validated structurally on open and
+///     per-tile (checksum) on every read;
+///   * in-memory — a DistBlock tiled virtually, used for CAPSPDB1 files
+///     (kept readable per the format's compatibility promise) and for
+///     serving a freshly computed matrix without touching disk.
+/// `read_tile` is thread-safe (the workers of a DistanceService share one
+/// reader); each call returns a fresh tile so callers own what they cache.
+class SnapshotReader {
+ public:
+  /// Open `path`, dispatching on the magic: CAPSPDB2 → file-backed,
+  /// CAPSPDB1 → loaded whole and tiled virtually with `legacy_tile_dim`.
+  explicit SnapshotReader(const std::string& path,
+                          std::int64_t legacy_tile_dim = kDefaultTileDim);
+
+  /// Serve an in-memory matrix (no file involved).
+  SnapshotReader(DistBlock matrix, std::int64_t tile_dim = kDefaultTileDim);
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  const SnapshotHeader& header() const { return header_; }
+  /// True when tiles are faulted in from a CAPSPDB2 file (false for the
+  /// in-memory / legacy-DB1 backings, which are fully resident anyway).
+  bool file_backed() const { return file_backed_; }
+
+  /// Payload bytes of one tile (what a cache should charge for it).
+  std::int64_t tile_bytes(std::int64_t tile_id) const;
+
+  DistBlock read_tile(std::int64_t tile_id) const;
+  DistBlock read_tile(std::int64_t tr, std::int64_t tc) const {
+    return read_tile(header_.tile_id(tr, tc));
+  }
+
+ private:
+  void open_tiled(std::ifstream& is, std::int64_t file_size);
+
+  SnapshotHeader header_;
+  bool file_backed_ = false;
+  // File-backed state: the stream is shared by worker threads, so seeks
+  // and reads happen under the mutex.
+  mutable std::mutex io_mutex_;
+  mutable std::ifstream file_;
+  std::vector<std::int64_t> offsets_;
+  std::vector<std::int64_t> checksums_;
+  // In-memory state.
+  DistBlock matrix_;
+};
+
+}  // namespace capsp

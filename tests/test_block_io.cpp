@@ -54,6 +54,45 @@ TEST(BlockIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(BlockIo, ZeroByZeroRoundTrip) {
+  const DistBlock block(0, 0);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_block(stream, block);
+  // magic + rows + cols, no payload
+  EXPECT_EQ(stream.str().size(), 8u + 2 * sizeof(std::int64_t));
+  const DistBlock loaded = read_block(stream);
+  EXPECT_EQ(loaded.rows(), 0);
+  EXPECT_EQ(loaded.cols(), 0);
+}
+
+TEST(BlockIo, TruncatedMagicRejected) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream.write("CAPS", 4);  // EOF mid-magic
+  EXPECT_THROW(read_block(stream), check_error);
+}
+
+TEST(BlockIo, TruncatedHeaderRejected) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream.write("CAPSPDB1", 8);
+  const std::int64_t rows = 3;
+  stream.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  // cols missing entirely
+  EXPECT_THROW(read_block(stream), check_error);
+}
+
+TEST(BlockIo, ReadExactBytesReportsShortfall) {
+  std::stringstream stream(std::string("abc"),
+                           std::ios::in | std::ios::binary);
+  char buffer[8];
+  try {
+    read_exact_bytes(stream, buffer, 8, "probe");
+    FAIL() << "expected a truncation CHECK";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("probe"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
 TEST(BlockIo, BadMagicRejected) {
   std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
   stream.write("NOTCAPSP", 8);

@@ -152,6 +152,56 @@ TEST(PathOracle, RejectsWrongShapeOrDiagonal) {
   EXPECT_THROW(PathOracle(graph, bad), check_error);
 }
 
+TEST(PathOracle, SelfLoopsAndParallelEdges) {
+  // GraphBuilder drops self-loops and keeps the cheapest of parallel
+  // edges, so the oracle must route along the deduplicated weights.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 0, 7);  // self-loop: dropped
+  builder.add_edge(0, 1, 9);  // superseded by the cheaper parallel edge
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(1, 1, 1);  // self-loop: dropped
+  builder.add_edge(1, 2, 3);
+  builder.add_edge(1, 2, 5);  // parallel, more expensive: ignored
+  builder.add_edge(2, 3, 1);
+  const Graph graph = std::move(builder).build();
+  const PathOracle oracle = make_oracle(graph);
+  EXPECT_EQ(oracle.distance(0, 0), 0);  // self-loop cannot beat the diagonal
+  EXPECT_EQ(oracle.distance(0, 1), 2);  // min of the parallel weights
+  EXPECT_EQ(oracle.distance(0, 3), 6);
+  EXPECT_EQ(oracle.shortest_path(0, 3), (std::vector<Vertex>{0, 1, 2, 3}));
+  for (Vertex u = 0; u < 4; ++u)
+    for (Vertex v = 0; v < 4; ++v) expect_valid_path(oracle, u, v);
+}
+
+TEST(PathOracle, ViaFunctionsMatchTheMemberApi) {
+  // next_hop_via / shortest_path_via are the oracle's logic behind a
+  // pluggable distance lookup (the serving layer's hook); against the
+  // same matrix they must agree with the members exactly.
+  Rng rng(11);
+  const Graph graph = make_grid2d(5, 5, rng);
+  const DistBlock matrix = reference_apsp(graph);
+  const PathOracle oracle(graph, matrix);
+  const DistFn lookup = [&matrix](Vertex u, Vertex v) {
+    return matrix.at(u, v);
+  };
+  for (Vertex u = 0; u < graph.num_vertices(); u += 3)
+    for (Vertex v = 0; v < graph.num_vertices(); v += 2) {
+      EXPECT_EQ(next_hop_via(graph, u, v, lookup), oracle.next_hop(u, v));
+      EXPECT_EQ(shortest_path_via(graph, u, v, lookup),
+                oracle.shortest_path(u, v));
+    }
+}
+
+TEST(PathOracle, ViaFunctionsDetectInconsistentLookup) {
+  Rng rng(12);
+  const Graph graph = make_path(4, rng, WeightOptions::unit());
+  const DistBlock matrix = reference_apsp(graph);
+  const DistFn lying = [&matrix](Vertex u, Vertex v) {
+    return (u == 0 && v == 3) ? Dist{1} : matrix.at(u, v);
+  };
+  EXPECT_THROW(next_hop_via(graph, 0, 3, lying), check_error);
+}
+
 TEST(PathOracle, DetectsInconsistentMatrix) {
   Rng rng(5);
   const Graph graph = make_path(4, rng, WeightOptions::unit());

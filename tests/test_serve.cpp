@@ -1,0 +1,290 @@
+// Tests for the serving layer (serve/service + serve/cache): bit-exact
+// answers vs the distance matrix, cache eviction under a tight budget,
+// structured overload/deadline/shutdown errors, k-nearest vs brute
+// force, and a concurrent mixed-query soak for the sanitizer matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "baseline/reference.hpp"
+#include "core/path_oracle.hpp"
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace capsp {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  DistBlock matrix;
+  std::shared_ptr<SnapshotReader> reader;
+  std::string path;
+
+  ~Fixture() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+/// A solved grid served from a real CAPSPDB2 file with small tiles.
+Fixture make_fixture(Vertex side, std::int64_t tile_dim,
+                     bool file_backed = true) {
+  Fixture f;
+  Rng rng(42);
+  f.graph = make_grid2d(side, side, rng);
+  f.matrix = reference_apsp(f.graph);
+  if (file_backed) {
+    f.path = ::testing::TempDir() + "/capsp_serve_" +
+             std::to_string(side) + "_" + std::to_string(tile_dim) + ".snap";
+    write_snapshot(f.path, f.matrix, tile_dim);
+    f.reader = std::make_shared<SnapshotReader>(f.path);
+  } else {
+    f.reader = std::make_shared<SnapshotReader>(f.matrix, tile_dim);
+  }
+  return f;
+}
+
+TEST(DistanceService, BitExactWithEvictingCache) {
+  const Fixture f = make_fixture(8, 4);
+  ServeOptions options;
+  options.threads = 3;
+  // Far below the 64x64 doubles of the matrix: forces eviction traffic.
+  options.cache_bytes = 2048;
+  DistanceService service(f.reader, f.graph, options);
+  for (Vertex u = 0; u < f.graph.num_vertices(); ++u)
+    for (Vertex v = 0; v < f.graph.num_vertices(); ++v) {
+      const DistanceReply reply = service.distance(u, v);
+      ASSERT_EQ(reply.error, ServeError::kOk);
+      ASSERT_EQ(reply.distance, f.matrix.at(u, v)) << u << "," << v;
+    }
+  const TileCache::Stats stats = service.cache_stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.bytes, options.cache_bytes);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::int64_t>(f.graph.num_vertices()) *
+                f.graph.num_vertices());
+}
+
+TEST(DistanceService, PathsMatchThePathOracle) {
+  const Fixture f = make_fixture(6, 4);
+  DistanceService service(f.reader, f.graph);
+  const PathOracle oracle(f.graph, f.matrix);
+  for (Vertex u = 0; u < f.graph.num_vertices(); u += 5)
+    for (Vertex v = 0; v < f.graph.num_vertices(); v += 3) {
+      const PathReply reply = service.shortest_path(u, v);
+      ASSERT_EQ(reply.error, ServeError::kOk);
+      EXPECT_EQ(reply.distance, f.matrix.at(u, v));
+      EXPECT_EQ(reply.path, oracle.shortest_path(u, v));
+    }
+}
+
+TEST(DistanceService, UnreachableIsAnAnswerNotAnError) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(2, 3, 1);
+  Graph graph = std::move(builder).build();
+  auto reader =
+      std::make_shared<SnapshotReader>(reference_apsp(graph), 2);
+  DistanceService service(reader, graph);
+  const DistanceReply reply = service.distance(0, 2);
+  EXPECT_EQ(reply.error, ServeError::kOk);
+  EXPECT_TRUE(is_inf(reply.distance));
+  const PathReply path = service.shortest_path(0, 2);
+  EXPECT_EQ(path.error, ServeError::kOk);
+  EXPECT_TRUE(path.path.empty());
+}
+
+TEST(DistanceService, KNearestMatchesBruteForce) {
+  const Fixture f = make_fixture(7, 8, /*file_backed=*/false);
+  DistanceService service(f.reader, f.graph);
+  const Vertex n = f.graph.num_vertices();
+  for (const Vertex u : {Vertex{0}, Vertex{17}, Vertex{n - 1}}) {
+    for (const int k : {1, 5, static_cast<int>(n) + 10}) {
+      const KNearestReply reply = service.k_nearest(u, k);
+      ASSERT_EQ(reply.error, ServeError::kOk);
+      std::vector<NearVertex> expected;
+      for (Vertex v = 0; v < n; ++v)
+        if (v != u && !is_inf(f.matrix.at(u, v)))
+          expected.push_back({v, f.matrix.at(u, v)});
+      std::sort(expected.begin(), expected.end(),
+                [](const NearVertex& a, const NearVertex& b) {
+                  return std::tie(a.distance, a.vertex) <
+                         std::tie(b.distance, b.vertex);
+                });
+      if (expected.size() > static_cast<std::size_t>(k))
+        expected.resize(static_cast<std::size_t>(k));
+      EXPECT_EQ(reply.nearest, expected) << "u=" << u << " k=" << k;
+    }
+  }
+}
+
+TEST(DistanceService, BatchMatchesSingles) {
+  const Fixture f = make_fixture(5, 4);
+  DistanceService service(f.reader, f.graph);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (Vertex u = 0; u < 25; u += 2) pairs.push_back({u, 24 - u});
+  const std::vector<DistanceReply> replies = service.distance_batch(pairs);
+  ASSERT_EQ(replies.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(replies[i].error, ServeError::kOk);
+    EXPECT_EQ(replies[i].distance,
+              f.matrix.at(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(DistanceService, OverloadedQueueRejectsStructurally) {
+  const Fixture f = make_fixture(4, 4, /*file_backed=*/false);
+  ServeOptions options;
+  options.threads = 1;
+  options.max_queue = 0;  // admission bound of zero: every request rejected
+  DistanceService service(f.reader, f.graph, options);
+  const DistanceReply reply = service.distance(0, 3);
+  EXPECT_EQ(reply.error, ServeError::kOverloaded);
+  EXPECT_EQ(std::string(to_string(ServeError::kOverloaded)), "overloaded");
+}
+
+TEST(DistanceService, ExpiredDeadlineIsReported) {
+  const Fixture f = make_fixture(4, 4, /*file_backed=*/false);
+  DistanceService service(f.reader, f.graph);
+  // A deadline of 1ns is in the past by the time a worker dequeues.
+  const DistanceReply reply = service.distance(0, 3, 1e-9);
+  EXPECT_EQ(reply.error, ServeError::kDeadlineExceeded);
+}
+
+TEST(DistanceService, ShutdownRejectsNewWork) {
+  const Fixture f = make_fixture(4, 4, /*file_backed=*/false);
+  DistanceService service(f.reader, f.graph);
+  EXPECT_EQ(service.distance(0, 1).error, ServeError::kOk);
+  service.stop();
+  EXPECT_EQ(service.distance(0, 1).error, ServeError::kShutdown);
+  service.stop();  // idempotent
+}
+
+TEST(DistanceService, MetricsCoverTheRun) {
+  const Fixture f = make_fixture(5, 4);
+  DistanceService service(f.reader, f.graph);
+  for (Vertex v = 0; v < 25; ++v) service.distance(0, v);
+  service.shortest_path(0, 24);
+  service.k_nearest(12, 3);
+  const MetricsSnapshot snapshot = service.metrics_snapshot();
+  ASSERT_TRUE(snapshot.count("serve.request.latency_us"));
+  EXPECT_EQ(snapshot.at("serve.request.latency_us").histogram.count, 27);
+  EXPECT_EQ(snapshot.at("serve.request.distance").counter, 25);
+  EXPECT_EQ(snapshot.at("serve.request.path").counter, 1);
+  EXPECT_EQ(snapshot.at("serve.request.knear").counter, 1);
+  EXPECT_EQ(snapshot.at("serve.request.ok").counter, 27);
+  EXPECT_GT(snapshot.at("serve.io.tiles_loaded").counter, 0);
+  EXPECT_GT(snapshot.at("serve.io.bytes_read").counter, 0);
+  std::ostringstream summary;
+  service.write_summary_json(summary);
+  EXPECT_NE(summary.str().find("\"serve\""), std::string::npos);
+  EXPECT_NE(summary.str().find("\"latency_us\""), std::string::npos);
+  // Merging into an outer registry must carry the counts across.
+  MetricsRegistry outer;
+  service.merge_metrics_into(outer);
+  EXPECT_EQ(outer.snapshot().at("serve.request.distance").counter, 25);
+}
+
+// Sanitizer target: many clients hammering one service with mixed query
+// types and an eviction-heavy cache.  Correctness of each answer is still
+// asserted, so this doubles as a race detector for the cache/queue and a
+// use-after-evict check on shared tiles.
+TEST(DistanceServiceSoak, ConcurrentMixedQueries) {
+  const Fixture f = make_fixture(9, 4);
+  ServeOptions options;
+  options.threads = 4;
+  options.cache_bytes = 4096;
+  DistanceService service(f.reader, f.graph, options);
+  const PathOracle oracle(f.graph, f.matrix);
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 300;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 1);
+      const auto n = static_cast<std::uint64_t>(f.graph.num_vertices());
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto u = static_cast<Vertex>(rng.uniform(n));
+        const auto v = static_cast<Vertex>(rng.uniform(n));
+        switch (i % 3) {
+          case 0: {
+            const DistanceReply reply = service.distance(u, v);
+            ASSERT_EQ(reply.error, ServeError::kOk);
+            ASSERT_EQ(reply.distance, f.matrix.at(u, v));
+            break;
+          }
+          case 1: {
+            const PathReply reply = service.shortest_path(u, v);
+            ASSERT_EQ(reply.error, ServeError::kOk);
+            ASSERT_EQ(reply.distance, f.matrix.at(u, v));
+            if (!reply.path.empty())
+              ASSERT_NEAR(oracle.path_weight(reply.path),
+                          f.matrix.at(u, v), 1e-9);
+            break;
+          }
+          default: {
+            const KNearestReply reply = service.k_nearest(u, 4);
+            ASSERT_EQ(reply.error, ServeError::kOk);
+            ASSERT_LE(reply.nearest.size(), 4u);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const TileCache::Stats stats = service.cache_stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_EQ(service.metrics_snapshot().at("serve.request.ok").counter,
+            kClients * kPerClient);
+}
+
+TEST(TileCache, LruEvictsColdTilesFirst) {
+  MetricsRegistry registry;
+  TileCacheOptions options;
+  options.shards = 1;  // single shard makes the LRU order observable
+  options.byte_budget =
+      3 * (64 + 4 * static_cast<std::int64_t>(sizeof(Dist)));
+  TileCache cache(options, registry);
+  auto tile = [] {
+    DistBlock t(2, 2);
+    t.zero_diagonal();
+    return t;
+  };
+  cache.put(0, tile());
+  cache.put(1, tile());
+  cache.put(2, tile());
+  EXPECT_NE(cache.get(0), nullptr);  // refresh 0: now 1 is the coldest
+  cache.put(3, tile());              // evicts 1
+  EXPECT_NE(cache.get(0), nullptr);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(TileCache, SharedTileSurvivesEviction) {
+  MetricsRegistry registry;
+  TileCacheOptions options;
+  options.shards = 1;
+  options.byte_budget = 1;  // at most one resident entry, always over budget
+  TileCache cache(options, registry);
+  DistBlock t(2, 2);
+  t.at(0, 1) = 7;
+  const std::shared_ptr<const DistBlock> held = cache.put(10, std::move(t));
+  cache.put(11, DistBlock(2, 2));  // evicts tile 10
+  EXPECT_EQ(cache.get(10), nullptr);
+  // The caller's reference keeps the evicted tile alive and intact.
+  EXPECT_EQ(held->at(0, 1), 7);
+}
+
+}  // namespace
+}  // namespace capsp

@@ -33,6 +33,8 @@
 #include "capsp.hpp"
 #include "core/cost_oracle.hpp"
 #include "machine/trace_export.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
@@ -58,6 +60,9 @@ void print_help() {
       "  --q <q>                  grid side for --algorithm dc (p = q^2)\n"
       "  --verify                 certify distances with the O(n·m) check\n"
       "  --save-distances <path>  cache the distance matrix\n"
+      "  --save-snapshot <path>   tiled CAPSPDB2 snapshot for the serving\n"
+      "                           layer (--tile sets the tile dimension;\n"
+      "                           see docs/serving.md)\n"
       "  --trace <path>           event trace JSON (sparse|bottleneck)\n"
       "  --report-json <path>     CostReport JSON, incl. the cost-oracle\n"
       "                           predicted-vs-measured ratios\n"
@@ -68,6 +73,11 @@ void print_help() {
       "\n"
       "--mode partition:  --height <h>\n"
       "--mode query:      --from <v> --to <v> [--distances <path>]\n"
+      "                   --pairs <file>: answer every 'u v' line of the\n"
+      "                   file in one process through a DistanceService\n"
+      "                   (--distances accepts CAPSPDB1 caches and\n"
+      "                   CAPSPDB2 snapshots alike; without it the graph\n"
+      "                   is solved once and served from memory)\n"
       "--mode gen:        --out <path>\n"
       "\n"
       "exit codes:\n"
@@ -109,27 +119,8 @@ void write_metrics(const Cli& cli, const CostReport* costs) {
 Graph build_graph(const Cli& cli, Rng& rng) {
   const std::string file = cli.get_string("file", "");
   if (!file.empty()) return load_graph_auto(file);
-  const std::string kind = cli.get_string("graph", "grid");
-  const auto n = static_cast<Vertex>(cli.get_int("n", 256));
-  if (kind == "grid") {
-    const auto side =
-        static_cast<Vertex>(isqrt(static_cast<std::uint64_t>(n)));
-    return make_grid2d(side, side, rng);
-  }
-  if (kind == "grid3d") {
-    const auto side = static_cast<Vertex>(
-        std::llround(std::cbrt(static_cast<double>(n))));
-    return make_grid3d(side, side, side, rng);
-  }
-  if (kind == "er") return make_erdos_renyi(n, 8.0, rng);
-  if (kind == "tree") return make_random_tree(n, rng);
-  if (kind == "rmat") return make_rmat(n, 8.0, rng);
-  if (kind == "geometric")
-    return make_random_geometric(n,
-                                 2.2 / std::sqrt(static_cast<double>(n)),
-                                 rng);
-  CAPSP_CHECK_MSG(false, "unknown --graph '" << kind << "'");
-  return Graph();
+  return make_named_graph(cli.get_string("graph", "grid"),
+                          static_cast<Vertex>(cli.get_int("n", 256)), rng);
 }
 
 int mode_gen(const Cli& cli, Rng& rng) {
@@ -340,6 +331,13 @@ int mode_solve(const Cli& cli, Rng& rng) {
     save_block(save_path, distances);
     std::cout << "saved distance matrix to " << save_path << "\n";
   }
+  const std::string snapshot_path = cli.get_string("save-snapshot", "");
+  if (!snapshot_path.empty()) {
+    const auto tile = cli.get_int("tile", kDefaultTileDim);
+    write_snapshot(snapshot_path, distances, tile);
+    std::cout << "saved tiled snapshot (tile " << tile << ") to "
+              << snapshot_path << "\n";
+  }
   if (cli.get_bool("verify", false)) {
     const ValidationReport report = validate_apsp(graph, distances);
     CAPSP_CHECK_MSG(report.ok, "result failed the APSP certificate: "
@@ -354,30 +352,60 @@ int mode_solve(const Cli& cli, Rng& rng) {
   return 0;
 }
 
+/// Answer one (u, v) through the service: distance + path on one line.
+void print_query(DistanceService& service, Vertex u, Vertex v) {
+  const PathReply reply = service.shortest_path(u, v);
+  CAPSP_CHECK_MSG(reply.error == ServeError::kOk,
+                  "query (" << u << "," << v
+                            << ") failed: " << to_string(reply.error));
+  if (is_inf(reply.distance)) {
+    std::cout << u << " -> " << v << ": unreachable\n";
+    return;
+  }
+  std::cout << u << " -> " << v << ": distance " << reply.distance
+            << "; path:";
+  for (Vertex hop : reply.path) std::cout << ' ' << hop;
+  std::cout << '\n';
+}
+
 int mode_query(const Cli& cli, Rng& rng) {
   const Graph graph = build_graph(cli, rng);
-  const auto from = static_cast<Vertex>(cli.get_int("from", 0));
-  const auto to = static_cast<Vertex>(
-      cli.get_int("to", graph.num_vertices() - 1));
-  // A cached matrix (from solve --save-distances) skips the recompute.
+  // A cached matrix (solve --save-distances, CAPSPDB1) or tiled snapshot
+  // (solve --save-snapshot / serve_tool --mode upgrade, CAPSPDB2) skips
+  // the recompute; SnapshotReader dispatches on the magic.
   const std::string cached = cli.get_string("distances", "");
-  DistBlock distances;
+  std::shared_ptr<SnapshotReader> reader;
   if (!cached.empty()) {
-    distances = load_block(cached);
+    reader = std::make_shared<SnapshotReader>(cached);
   } else {
     SparseApspOptions options;
     options.height = static_cast<int>(cli.get_int("height", 2));
-    distances = run_sparse_apsp(graph, options).distances;
+    reader = std::make_shared<SnapshotReader>(
+        run_sparse_apsp(graph, options).distances, kDefaultTileDim);
   }
-  const PathOracle oracle(graph, std::move(distances));
-  if (!oracle.reachable(from, to)) {
-    std::cout << from << " -> " << to << ": unreachable\n";
+  DistanceService service(reader, graph);
+  const std::string pairs_path = cli.get_string("pairs", "");
+  if (!pairs_path.empty()) {
+    // Batch mode: every "u v" line of the file, one process, one service.
+    std::ifstream in(pairs_path);
+    CAPSP_CHECK_MSG(in, "cannot open --pairs file " << pairs_path);
+    Vertex u = 0, v = 0;
+    std::int64_t answered = 0;
+    while (in >> u >> v) {
+      print_query(service, u, v);
+      ++answered;
+    }
+    CAPSP_CHECK_MSG(in.eof(), "--pairs file " << pairs_path
+                                              << ": bad line after "
+                                              << answered
+                                              << " queries (want 'u v')");
+    std::cout << answered << " queries answered\n";
     return 0;
   }
-  std::cout << from << " -> " << to << ": distance "
-            << oracle.distance(from, to) << "\npath:";
-  for (Vertex v : oracle.shortest_path(from, to)) std::cout << ' ' << v;
-  std::cout << '\n';
+  const auto from = static_cast<Vertex>(cli.get_int("from", 0));
+  const auto to = static_cast<Vertex>(
+      cli.get_int("to", graph.num_vertices() - 1));
+  print_query(service, from, to);
   return 0;
 }
 

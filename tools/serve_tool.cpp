@@ -1,0 +1,483 @@
+// serve_tool — snapshot management and load generation for the serving
+// layer (docs/serving.md).
+//
+//   serve_tool --mode upgrade --in g.dist --out g.snap --tile 64
+//       upgrade a CAPSPDB1 cache (apsp_tool --save-distances) to a tiled
+//       CAPSPDB2 snapshot
+//   serve_tool --mode serve --snapshot g.snap --graph grid --n 441
+//              --clients 8 --requests 20000 --mix zipf --queries distance
+//              --cache-bytes 262144 --report-json serve.json
+//       closed-loop load test: 8 client threads issue 20k Zipf-skewed
+//       distance queries against a DistanceService whose tile cache is
+//       capped below the matrix size; prints throughput, latency
+//       percentiles, and cache behaviour, and writes the service's JSON
+//       summary (scripts/trace_summary.py serve renders it)
+//   serve_tool --mode serve ... --open-loop --rate 20000 --deadline-ms 5
+//       open-loop driver: queries arrive on a fixed schedule regardless of
+//       completions, so an undersized service visibly sheds load with
+//       structured overload/deadline errors instead of queueing forever
+//   serve_tool --mode serve ... --duration-s 10
+//       soak: clients replay the workload cyclically for a wall-clock
+//       budget (no BENCH record — counts depend on timing)
+//
+// Closed-loop runs mirror their (deterministic) outcome into the PR-3
+// BenchJson registry: set CAPSP_BENCH_JSON_DIR and the run writes
+// BENCH_serve_<mix>_<queries>.json for the bench_diff regression gate.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "semiring/block_io.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace capsp;
+
+void print_help() {
+  std::cout <<
+      "usage: serve_tool --mode serve|upgrade [flags]\n"
+      "\n"
+      "--mode upgrade:  convert a CAPSPDB1 distance cache to a tiled\n"
+      "                 CAPSPDB2 snapshot (docs/serving.md)\n"
+      "  --in <path>              input CAPSPDB1 file\n"
+      "  --out <path>             output CAPSPDB2 snapshot\n"
+      "  --tile <dim>             tile dimension (default 64)\n"
+      "\n"
+      "--mode serve:  drive a DistanceService with a synthetic workload\n"
+      "  --snapshot <path>        CAPSPDB2 snapshot or CAPSPDB1 cache\n"
+      "  --file / --graph / --n / --seed\n"
+      "                           the graph the snapshot was solved from\n"
+      "                           (same flags as apsp_tool)\n"
+      "  --threads <t>            service worker threads (default 4)\n"
+      "  --clients <c>            closed-loop client threads (default 8)\n"
+      "  --requests <q>           workload size (default 10000)\n"
+      "  --duration-s <sec>       soak: replay workload for a wall-clock\n"
+      "                           budget instead of a fixed count\n"
+      "  --mix uniform|zipf|bfs   query-pair distribution (default zipf)\n"
+      "  --zipf-theta <t>         Zipf skew (default 0.99)\n"
+      "  --ball <b>               BFS-locality ball size (default 64)\n"
+      "  --queries distance|path|knear\n"
+      "                           request type (default distance)\n"
+      "  --k <k>                  neighbors for --queries knear (default 8)\n"
+      "  --cache-bytes <b>        tile-cache budget (default 16 MiB); set\n"
+      "                           below the matrix size to exercise\n"
+      "                           eviction\n"
+      "  --tile-legacy <dim>      virtual tile dim for CAPSPDB1 input\n"
+      "  --deadline-ms <ms>       per-request deadline (0 = none)\n"
+      "  --max-queue <q>          admission bound (default 4096)\n"
+      "  --open-loop --rate <qps> open-loop arrivals at a fixed rate\n"
+      "  --workload-seed <int>    workload RNG seed (default 1)\n"
+      "  --verify                 check every distance against the full\n"
+      "                           matrix (bit-exact)\n"
+      "  --report-json <path>     service summary JSON\n"
+      "  --bench-name <name>      BENCH_<name>.json record name\n"
+      "                           (default serve_<mix>_<queries>)\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  error (bad input, failed invariant CHECK, failed --verify)\n"
+      "  2  usage error (unknown --mode)\n";
+}
+
+Graph build_graph(const Cli& cli, Rng& rng) {
+  const std::string file = cli.get_string("file", "");
+  if (!file.empty()) return load_graph_auto(file);
+  return make_named_graph(cli.get_string("graph", "grid"),
+                          static_cast<Vertex>(cli.get_int("n", 256)), rng);
+}
+
+int mode_upgrade(const Cli& cli) {
+  const std::string in = cli.get_string("in", "");
+  const std::string out = cli.get_string("out", "");
+  CAPSP_CHECK_MSG(!in.empty() && !out.empty(),
+                  "--mode upgrade requires --in and --out");
+  const auto tile = cli.get_int("tile", kDefaultTileDim);
+  upgrade_snapshot(in, out, tile);
+  const SnapshotReader reader(out);
+  std::cout << "upgraded " << in << " -> " << out << ": "
+            << reader.header().rows << "x" << reader.header().cols
+            << " in " << reader.header().num_tiles() << " tiles of "
+            << reader.header().tile_dim << "\n";
+  return 0;
+}
+
+struct Query {
+  Vertex u = 0;
+  Vertex v = 0;
+};
+
+/// Zipf-skewed vertex draw: rank r has probability ∝ 1/(r+1)^theta, and a
+/// seeded permutation maps ranks to vertices so the hot set is spread over
+/// the matrix (adjacent hot vertices would share tiles and flatter the
+/// cache).
+class ZipfSampler {
+ public:
+  ZipfSampler(Vertex n, double theta, Rng& rng) {
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double sum = 0;
+    for (Vertex r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+    perm_.resize(static_cast<std::size_t>(n));
+    for (Vertex v = 0; v < n; ++v) perm_[static_cast<std::size_t>(v)] = v;
+    for (std::size_t i = perm_.size(); i > 1; --i)
+      std::swap(perm_[i - 1], perm_[rng.uniform(i)]);
+  }
+
+  Vertex draw(Rng& rng) {
+    const double x = rng.uniform_real();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    const auto rank = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+    return perm_[rank];
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<Vertex> perm_;
+};
+
+/// Up to `size` vertices reachable from `center`, in BFS order.
+std::vector<Vertex> bfs_ball(const Graph& graph, Vertex center,
+                             std::size_t size) {
+  std::vector<Vertex> ball{center};
+  std::vector<bool> seen(static_cast<std::size_t>(graph.num_vertices()));
+  seen[static_cast<std::size_t>(center)] = true;
+  for (std::size_t head = 0; head < ball.size() && ball.size() < size;
+       ++head) {
+    for (const auto& nb : graph.neighbors(ball[head])) {
+      if (seen[static_cast<std::size_t>(nb.to)]) continue;
+      seen[static_cast<std::size_t>(nb.to)] = true;
+      ball.push_back(nb.to);
+      if (ball.size() >= size) break;
+    }
+  }
+  return ball;
+}
+
+std::vector<Query> make_workload(const Graph& graph, const std::string& mix,
+                                 std::int64_t count, double zipf_theta,
+                                 std::size_t ball_size, Rng& rng) {
+  const Vertex n = graph.num_vertices();
+  CAPSP_CHECK_MSG(n > 0, "cannot generate a workload on an empty graph");
+  std::vector<Query> queries;
+  queries.reserve(static_cast<std::size_t>(count));
+  if (mix == "uniform") {
+    for (std::int64_t i = 0; i < count; ++i)
+      queries.push_back(
+          {static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n))),
+           static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)))});
+  } else if (mix == "zipf") {
+    ZipfSampler zipf(n, zipf_theta, rng);
+    for (std::int64_t i = 0; i < count; ++i)
+      queries.push_back({zipf.draw(rng), zipf.draw(rng)});
+  } else if (mix == "bfs") {
+    // Locality mix: bursts of queries inside one BFS ball, like map
+    // clients panning a region, with the ball recentered between bursts.
+    constexpr std::size_t kQueriesPerBall = 32;
+    while (queries.size() < static_cast<std::size_t>(count)) {
+      const auto center =
+          static_cast<Vertex>(rng.uniform(static_cast<std::uint64_t>(n)));
+      const std::vector<Vertex> ball = bfs_ball(graph, center, ball_size);
+      for (std::size_t i = 0;
+           i < kQueriesPerBall &&
+           queries.size() < static_cast<std::size_t>(count);
+           ++i)
+        queries.push_back({ball[rng.uniform(ball.size())],
+                           ball[rng.uniform(ball.size())]});
+    }
+  } else {
+    CAPSP_CHECK_MSG(false,
+                    "unknown --mix '" << mix << "' (uniform|zipf|bfs)");
+  }
+  return queries;
+}
+
+/// Per-query outcome, recorded into a pre-sized slot so the aggregation
+/// below can run in index order — sums of doubles stay deterministic no
+/// matter how the threads interleaved.
+struct Outcome {
+  ServeError error = ServeError::kOk;
+  Dist distance = kInf;
+  std::int64_t hops = 0;
+};
+
+Outcome issue(DistanceService& service, const Query& query,
+              const std::string& kind, int k, double deadline_seconds) {
+  Outcome outcome;
+  if (kind == "distance") {
+    const DistanceReply reply =
+        service.distance(query.u, query.v, deadline_seconds);
+    outcome.error = reply.error;
+    outcome.distance = reply.distance;
+  } else if (kind == "path") {
+    PathReply reply =
+        service.shortest_path(query.u, query.v, deadline_seconds);
+    outcome.error = reply.error;
+    outcome.distance = reply.distance;
+    outcome.hops = reply.path.empty()
+                       ? 0
+                       : static_cast<std::int64_t>(reply.path.size()) - 1;
+  } else {
+    const KNearestReply reply =
+        service.k_nearest(query.u, k, deadline_seconds);
+    outcome.error = reply.error;
+    outcome.distance = 0;
+    for (const NearVertex& near : reply.nearest)
+      outcome.distance += near.distance;
+    outcome.hops = static_cast<std::int64_t>(reply.nearest.size());
+  }
+  return outcome;
+}
+
+int mode_serve(const Cli& cli, Rng& rng) {
+  const std::string snapshot_path = cli.get_string("snapshot", "");
+  CAPSP_CHECK_MSG(!snapshot_path.empty(),
+                  "--mode serve requires --snapshot <path>");
+  const Graph graph = build_graph(cli, rng);
+  auto reader = std::make_shared<SnapshotReader>(
+      snapshot_path, cli.get_int("tile-legacy", kDefaultTileDim));
+  ServeOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads", 4));
+  options.cache_bytes = cli.get_int("cache-bytes", 16 << 20);
+  options.max_queue =
+      static_cast<std::size_t>(cli.get_int("max-queue", 4096));
+  DistanceService service(reader, graph, options);
+
+  const std::string mix = cli.get_string("mix", "zipf");
+  const std::string kind = cli.get_string("queries", "distance");
+  CAPSP_CHECK_MSG(kind == "distance" || kind == "path" || kind == "knear",
+                  "unknown --queries '" << kind
+                                        << "' (distance|path|knear)");
+  const std::int64_t requests = cli.get_int("requests", 10000);
+  const int clients =
+      std::max(1, static_cast<int>(cli.get_int("clients", 8)));
+  const int k = static_cast<int>(cli.get_int("k", 8));
+  const double deadline_ms = cli.get_double("deadline-ms", 0);
+  const double deadline_seconds = deadline_ms > 0 ? deadline_ms / 1000 : -1;
+  const double duration_s = cli.get_double("duration-s", 0);
+  const bool open_loop = cli.get_bool("open-loop", false);
+  const double rate = cli.get_double("rate", 20000);
+
+  Rng workload_rng(
+      static_cast<std::uint64_t>(cli.get_int("workload-seed", 1)));
+  const std::vector<Query> queries = make_workload(
+      graph, mix, requests, cli.get_double("zipf-theta", 0.99),
+      static_cast<std::size_t>(cli.get_int("ball", 64)), workload_rng);
+
+  std::cout << "serving " << reader->header().rows << "x"
+            << reader->header().cols << " snapshot ("
+            << reader->header().num_tiles() << " tiles of "
+            << reader->header().tile_dim
+            << (reader->file_backed() ? ", file-backed" : ", in-memory")
+            << ") with " << options.threads << " workers, cache budget "
+            << options.cache_bytes << " bytes\n";
+  std::cout << "workload: " << queries.size() << " " << mix << " " << kind
+            << " queries, "
+            << (open_loop
+                    ? "open loop"
+                    : duration_s > 0 ? "closed-loop soak" : "closed loop")
+            << ", " << clients << " clients\n";
+
+  std::vector<Outcome> outcomes(queries.size());
+  std::atomic<std::int64_t> soak_issued{0};
+  const auto start = std::chrono::steady_clock::now();
+  if (open_loop) {
+    // Open loop: arrivals on a fixed schedule, regardless of completions.
+    CAPSP_CHECK_MSG(rate > 0, "--open-loop requires --rate > 0");
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(1.0 / rate));
+    std::vector<std::future<DistanceReply>> futures;
+    futures.reserve(queries.size());
+    auto next = start;
+    for (const Query& query : queries) {
+      std::this_thread::sleep_until(next);
+      next += interval;
+      futures.push_back(
+          service.distance_async(query.u, query.v, deadline_seconds));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const DistanceReply reply = futures[i].get();
+      outcomes[i] = {reply.error, reply.distance, 0};
+    }
+  } else if (duration_s > 0) {
+    // Soak: replay the workload cyclically until the wall-clock budget is
+    // spent (counts depend on timing, so no BENCH record is emitted).
+    const auto stop_at =
+        start + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(duration_s));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        Rng pick(static_cast<std::uint64_t>(c) * 7919 + 13);
+        while (std::chrono::steady_clock::now() < stop_at) {
+          const Query& query = queries[pick.uniform(queries.size())];
+          issue(service, query, kind, k, deadline_seconds);
+          soak_issued.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  } else {
+    // Closed loop: each client issues its stride of the workload
+    // back-to-back; slot-per-query results keep aggregation
+    // deterministic.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (std::size_t i = static_cast<std::size_t>(c);
+             i < queries.size(); i += static_cast<std::size_t>(clients))
+          outcomes[i] = issue(service, queries[i], kind, k,
+                              deadline_seconds);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Aggregate in index order (see Outcome).
+  std::int64_t ok = 0, overloaded = 0, expired = 0, unreachable = 0;
+  std::int64_t path_hops = 0;
+  double distance_sum = 0;
+  for (const Outcome& outcome : outcomes) {
+    switch (outcome.error) {
+      case ServeError::kOk: ++ok; break;
+      case ServeError::kOverloaded: ++overloaded; break;
+      case ServeError::kDeadlineExceeded: ++expired; break;
+      case ServeError::kShutdown: break;
+    }
+    if (outcome.error != ServeError::kOk) continue;
+    if (is_inf(outcome.distance)) {
+      ++unreachable;
+    } else {
+      distance_sum += outcome.distance;
+    }
+    path_hops += outcome.hops;
+  }
+  const std::int64_t issued =
+      duration_s > 0 ? soak_issued.load() : static_cast<std::int64_t>(
+                                                outcomes.size());
+
+  if (cli.get_bool("verify", false)) {
+    CAPSP_CHECK_MSG(kind == "distance" && !open_loop && duration_s == 0,
+                    "--verify needs a closed-loop distance run");
+    // Reassemble the full matrix from tiles and recheck every answer
+    // bit-exactly (the acceptance bar for the serving layer).
+    const SnapshotHeader& h = reader->header();
+    DistBlock full(h.rows, h.cols);
+    for (std::int64_t t = 0; t < h.num_tiles(); ++t)
+      full.set_sub_block((t / h.tile_cols()) * h.tile_dim,
+                         (t % h.tile_cols()) * h.tile_dim, reader->read_tile(t));
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      CAPSP_CHECK_MSG(outcomes[i].distance ==
+                          full.at(queries[i].u, queries[i].v),
+                      "served distance for (" << queries[i].u << ","
+                                              << queries[i].v
+                                              << ") diverged from matrix");
+    std::cout << "verify: all " << queries.size()
+              << " served distances bit-exact vs the matrix\n";
+  }
+
+  const TileCache::Stats cache = service.cache_stats();
+  const MetricsSnapshot metrics = service.metrics_snapshot();
+  std::cout << "completed " << issued << " requests in " << elapsed
+            << " s (" << (elapsed > 0 ? static_cast<double>(issued) / elapsed
+                                      : 0)
+            << " qps)\n";
+  if (duration_s == 0)
+    std::cout << "ok " << ok << ", overloaded " << overloaded
+              << ", deadline_exceeded " << expired << ", unreachable "
+              << unreachable << "\n";
+  if (const auto it = metrics.find("serve.request.latency_us");
+      it != metrics.end()) {
+    const Histogram& hist = it->second.histogram;
+    std::cout << "latency: p50 " << hist.percentile(0.50) << " us, p95 "
+              << hist.percentile(0.95) << " us, max " << hist.max
+              << " us\n";
+  }
+  const std::int64_t lookups = cache.hits + cache.misses;
+  std::cout << "cache: " << cache.hits << " hits / " << lookups
+            << " lookups ("
+            << (lookups > 0 ? 100.0 * static_cast<double>(cache.hits) /
+                                  static_cast<double>(lookups)
+                            : 0)
+            << "% hit rate), " << cache.evictions << " evictions, "
+            << cache.bytes << " bytes resident\n";
+
+  const std::string report_path = cli.get_string("report-json", "");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    CAPSP_CHECK_MSG(out, "cannot write --report-json file " << report_path);
+    service.write_summary_json(out);
+    std::cout << "wrote serve summary to " << report_path << "\n";
+  }
+
+  // Only the fully deterministic closed-loop counts become a BENCH
+  // record; hit/miss splits and timings depend on thread interleaving and
+  // stay out of the regression gate.
+  if (!open_loop && duration_s == 0) {
+    const std::string bench_name = cli.get_string(
+        "bench-name", "serve_" + mix + "_" + kind);
+    bench::BenchJson::get(bench_name).add(
+        {{"mix", mix},
+         {"queries", kind},
+         {"n", static_cast<std::int64_t>(graph.num_vertices())},
+         {"tile", reader->header().tile_dim},
+         {"cache_bytes", options.cache_bytes},
+         {"threads", static_cast<std::int64_t>(options.threads)},
+         {"clients", static_cast<std::int64_t>(clients)},
+         {"requests", static_cast<std::int64_t>(outcomes.size())},
+         {"ok", ok},
+         {"errors", overloaded + expired},
+         {"unreachable", unreachable},
+         {"tile_lookups", lookups},
+         {"distance_sum", distance_sum},
+         {"path_hops", path_hops}});
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli(argc, argv);
+    if (cli.get_bool("help", false)) {
+      print_help();
+      return 0;
+    }
+    const std::string mode = cli.get_string("mode", "serve");
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    if (mode == "upgrade") return mode_upgrade(cli);
+    if (mode == "serve") return mode_serve(cli, rng);
+    std::cerr << "unknown --mode '" << mode << "' (serve|upgrade)\n";
+    return 2;
+  } catch (const capsp::check_error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
