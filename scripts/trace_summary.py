@@ -5,6 +5,8 @@ Usage:
     python3 scripts/trace_summary.py trace.json [--top K] [--axis latency|bandwidth]
     python3 scripts/trace_summary.py metrics metrics.json [--top K]
     python3 scripts/trace_summary.py serve serve.json
+    python3 scripts/trace_summary.py reqtrace reqtrace.json [--top K]
+    python3 scripts/trace_summary.py prom scrape.txt
 
 Reads the trace JSON written by `apsp_tool --trace=<file>` (or
 write_chrome_trace), pulls the critical-path decomposition the exporter
@@ -167,17 +169,238 @@ def summarize_serve(argv):
         print(f"\nlatency (us): mean {lat['mean']:.1f}, "
               f"p50 {lat['p50']:g}, p95 {lat['p95']:g}, "
               f"max {lat['max']:.1f} over {lat['count']:,} requests")
+
+    # Observability sections (docs/telemetry.md); older summaries that
+    # predate them are still summarized without.
+    shards = cache.get("shards")
+    if shards:
+        busiest = max(shards, key=lambda s: s["hits"] + s["misses"])
+        idx = shards.index(busiest)
+        lookups = busiest["hits"] + busiest["misses"]
+        print(f"cache shards: {len(shards)}, busiest shard {idx} with "
+              f"{lookups:,} lookups, {busiest['evictions']:,} evictions, "
+              f"{busiest['bytes']:,} bytes resident")
+
+    windows = serve.get("windows")
+    if windows:
+        w = windows["latency_us"]
+        print(f"\nwindow ({windows['seconds']:g}s, covered "
+              f"{w['covered_seconds']:g}s): {w['count']:,} requests at "
+              f"{w['rate_per_second']:,.1f}/s, p50 {w['p50']:g} us, "
+              f"p95 {w['p95']:g} us, p99 {w['p99']:g} us")
+        e = windows["errors"]
+        print(f"  errors in window: {e['count']:,}")
+
+    slo = serve.get("slo")
+    if slo:
+        for key in ("availability", "latency"):
+            obj = slo[key]
+            if not obj["enabled"]:
+                continue
+            title = key
+            if key == "latency":
+                title = f"latency<={slo['latency_ms']:g}ms"
+            print(f"slo {title}: {100.0 * obj['compliance']:.4g}% of "
+                  f"{obj['total']:,} (target {100.0 * obj['target']:g}%), "
+                  f"burn rate {obj['burn_rate']:.3g}, budget remaining "
+                  f"{100.0 * obj['budget_remaining']:.4g}%")
+
+    reqtrace = serve.get("reqtrace")
+    if reqtrace and reqtrace["enabled"]:
+        print(f"reqtrace: {reqtrace['started']:,} traced "
+              f"(1 in {reqtrace['sample_every']} sampled, slow >= "
+              f"{reqtrace['slow_ms']:g} ms), {reqtrace['slow']:,} slow, "
+              f"{reqtrace['sampled_kept']:,} sampled kept, "
+              f"{reqtrace['dropped']:,} dropped")
     return 0
+
+
+def summarize_reqtrace(argv):
+    """The `reqtrace` subcommand: render a request-trace export
+    (serve_tool --reqtrace, docs/telemetry.md) — the top-N slowest
+    requests and a span breakdown by phase.  Also validates the
+    span-time invariant (queue_wait + execute covers each request end
+    to end), so it doubles as the CI check on real exports."""
+    parser = argparse.ArgumentParser(
+        prog="trace_summary.py reqtrace",
+        description="Summarize a serve_tool --reqtrace export.")
+    parser.add_argument("trace", help="Chrome trace JSON from --reqtrace")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of slowest requests to print "
+                             "(default 10)")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+    meta = doc.get("capsp", {})
+    if not meta.get("reqtrace"):
+        print(f"error: {args.trace} is not a request-trace export "
+              "(no capsp.reqtrace marker)", file=sys.stderr)
+        return 1
+
+    requests, spans = [], {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        if event.get("cat") == "request":
+            requests.append(event)
+        elif event.get("cat") == "span":
+            spans.setdefault(event["tid"], []).append(event)
+
+    slow_us = meta.get("slow_us", 0)
+    print(f"reqtrace: {len(requests)} kept of {meta.get('started', 0):,} "
+          f"traced ({meta.get('slow', 0):,} slow >= {slow_us:g} us, "
+          f"{meta.get('sampled_kept', 0):,} sampled kept, "
+          f"{meta.get('dropped', 0):,} dropped)")
+    if not requests:
+        return 0
+
+    ranked = sorted(requests, key=lambda r: -r["dur"])
+    print(f"\ntop {min(args.top, len(ranked))} slowest requests:")
+    print(f"  {'id':>6} {'kind':<10} {'outcome':<10} {'dur_us':>10} "
+          f"{'queue_us':>10} args")
+    for request in ranked[:args.top]:
+        tid = request["tid"]
+        queue = sum(s["dur"] for s in spans.get(tid, [])
+                    if s["name"] == "queue_wait")
+        req_args = request.get("args", {})
+        detail = " ".join(f"{k}={req_args[k]}" for k in ("u", "v", "k")
+                          if k in req_args)
+        print(f"  {tid:>6} {request['name']:<10} "
+              f"{req_args.get('outcome', '?'):<10} {request['dur']:>10.1f} "
+              f"{queue:>10.1f} {detail}")
+
+    by_phase = {}
+    for tid_spans in spans.values():
+        for span in tid_spans:
+            entry = by_phase.setdefault(span["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += span["dur"]
+    total_request_us = sum(r["dur"] for r in requests)
+    print("\nspan breakdown by phase:")
+    print(f"  {'phase':<20} {'count':>8} {'total_us':>12} {'share':>8}")
+    for name, (count, total) in sorted(by_phase.items(),
+                                       key=lambda kv: -kv[1][1]):
+        share = 100.0 * total / total_request_us if total_request_us else 0.0
+        print(f"  {name:<20} {count:>8} {total:>12.1f} {share:>7.1f}%")
+
+    # Invariant: the top-level spans (queue_wait + execute) tile each
+    # request, so their durations sum to the request's within slack.
+    mismatches = 0
+    for request in requests:
+        top_level = sum(s["dur"] for s in spans.get(request["tid"], [])
+                        if s["name"] in ("queue_wait", "execute"))
+        if abs(top_level - request["dur"]) > max(5.0, 0.05 * request["dur"]):
+            mismatches += 1
+    if mismatches:
+        print(f"error: {mismatches} request(s) whose queue_wait+execute "
+              "spans do not sum to the request duration", file=sys.stderr)
+        return 1
+    return 0
+
+
+def check_prometheus(argv):
+    """The `prom` subcommand: self-check a Prometheus text-exposition
+    scrape (the serve /metrics endpoint, docs/telemetry.md).  Validates
+    metric-name syntax, numeric sample values, TYPE declarations, and
+    the histogram invariants (cumulative buckets, +Inf == _count).
+    Exits non-zero on any violation, so CI can gate on a live scrape."""
+    parser = argparse.ArgumentParser(
+        prog="trace_summary.py prom",
+        description="Validate a Prometheus text-exposition scrape.")
+    parser.add_argument("scrape", help="scrape output (curl .../metrics)")
+    args = parser.parse_args(argv)
+
+    import re
+    name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    sample_re = re.compile(
+        r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? '
+        r"(-?\d+(\.\d+)?([eE][-+]?\d+)?|\+Inf|-Inf|NaN)$")
+
+    types = {}       # metric name -> declared type
+    histograms = {}  # base name -> {"buckets": [(le, v)], "count": v, ...}
+    samples = 0
+    errors = []
+    with open(args.scrape) as f:
+        lines = f.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    errors.append(f"line {number}: malformed TYPE: {line}")
+                elif not name_re.match(parts[2]):
+                    errors.append(
+                        f"line {number}: invalid metric name {parts[2]}")
+                else:
+                    types[parts[2]] = parts[3]
+            continue
+        match = sample_re.match(line)
+        if not match:
+            errors.append(f"line {number}: unparseable sample: {line}")
+            continue
+        samples += 1
+        name, le = match.group(1), match.group(3)
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)]
+            if name.endswith(suffix) and types.get(base) == "histogram":
+                series = histograms.setdefault(
+                    base, {"buckets": [], "sum": None, "count": None})
+                value = match.group(4)
+                if suffix == "_bucket":
+                    if le is None:
+                        errors.append(f"line {number}: histogram bucket "
+                                      "without an le label")
+                    else:
+                        series["buckets"].append((le, float(value)))
+                else:
+                    series[suffix[1:]] = float(value)
+                break
+        else:
+            if name not in types:
+                errors.append(f"line {number}: sample {name} has no "
+                              "TYPE declaration")
+
+    for name, series in sorted(histograms.items()):
+        buckets = series["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            errors.append(f"{name}: histogram without a +Inf bucket")
+            continue
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            errors.append(f"{name}: bucket counts are not cumulative")
+        bounds = [float(le) for le, _ in buckets[:-1]]
+        if bounds != sorted(bounds):
+            errors.append(f"{name}: bucket bounds are not increasing")
+        if series["count"] is None or series["count"] != values[-1]:
+            errors.append(f"{name}: +Inf bucket {values[-1]:g} != _count "
+                          f"{series['count']}")
+        if series["sum"] is None:
+            errors.append(f"{name}: histogram without a _sum sample")
+
+    print(f"prometheus scrape: {samples} samples, {len(types)} TYPE "
+          f"declarations, {len(histograms)} histograms")
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 def main():
     # Subcommand dispatch keeps the original positional-trace CLI intact:
-    # only a literal first argument of "metrics" or "serve" selects the
-    # new modes.
+    # only a literal first argument of "metrics", "serve", "reqtrace", or
+    # "prom" selects the new modes.
     if len(sys.argv) > 1 and sys.argv[1] == "metrics":
         return summarize_metrics(sys.argv[2:])
     if len(sys.argv) > 1 and sys.argv[1] == "serve":
         return summarize_serve(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "reqtrace":
+        return summarize_reqtrace(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "prom":
+        return check_prometheus(sys.argv[2:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace JSON from apsp_tool --trace")
     parser.add_argument("--top", type=int, default=10,

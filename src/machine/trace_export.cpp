@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace capsp {
@@ -14,20 +15,6 @@ namespace {
 std::int64_t flow_id(RankId src, std::int64_t event_index) {
   return static_cast<std::int64_t>(src) * (std::int64_t{1} << 32) +
          event_index;
-}
-
-/// Common fields of one trace-event record.  The logical latency clock is
-/// the timeline (ts in "microseconds"), so slice widths read directly as
-/// critical-path message counts.
-void event_header(JsonWriter& json, const char* name, const char* cat,
-                  const char* ph, RankId rank, double ts) {
-  json.begin_object();
-  json.field("name", name);
-  json.field("cat", cat);
-  json.field("ph", ph);
-  json.field("pid", 0);
-  json.field("tid", static_cast<std::int64_t>(rank));
-  json.field("ts", ts);
 }
 
 void clock_args(JsonWriter& json, const TraceEvent& e) {
@@ -45,19 +32,18 @@ void clock_args(JsonWriter& json, const TraceEvent& e) {
   json.end_object();
 }
 
-void write_rank_events(JsonWriter& json, RankId rank,
+/// The solver's exporter: the logical latency clock is the timeline (ts
+/// in "microseconds"), so slice widths read directly as critical-path
+/// message counts.
+void write_rank_events(ChromeTraceWriter& writer, RankId rank,
                        const std::vector<TraceEvent>& timeline) {
-  // Track naming metadata.
-  json.begin_object();
-  json.field("name", "thread_name");
-  json.field("ph", "M");
-  json.field("pid", 0);
-  json.field("tid", static_cast<std::int64_t>(rank));
-  json.key("args");
-  json.begin_object();
-  json.field("name", "rank " + std::to_string(rank));
-  json.end_object();
-  json.end_object();
+  JsonWriter& json = writer.json();
+  const auto event_header = [&](const char* name, const char* cat,
+                                const char* ph, RankId r, double ts) {
+    writer.begin_event(name, cat, ph, 0, static_cast<std::int64_t>(r), ts);
+  };
+  writer.thread_name(0, static_cast<std::int64_t>(rank),
+                     "rank " + std::to_string(rank));
 
   // Phase bands: a slice from each phase change (and from ts 0) to the
   // next change or the end of the timeline.
@@ -67,7 +53,7 @@ void write_rank_events(JsonWriter& json, RankId rank,
   double open_ts = 0;
   auto close_phase = [&](double ts) {
     if (open_phase.empty()) return;
-    event_header(json, open_phase.c_str(), "phase", "X", rank, open_ts);
+    event_header(open_phase.c_str(), "phase", "X", rank, open_ts);
     json.field("dur", ts - open_ts);
     json.end_object();
   };
@@ -85,49 +71,49 @@ void write_rank_events(JsonWriter& json, RankId rank,
     const double ts = e.after.latency;
     switch (e.kind) {
       case TraceEventKind::kSend:
-        event_header(json, "send", "comm", "i", rank, ts);
+        event_header("send", "comm", "i", rank, ts);
         json.field("s", "t");
         clock_args(json, e);
         json.end_object();
         // Flow start: the arrow to the matching receive.
-        event_header(json, "msg", "msg", "s", rank, ts);
+        event_header("msg", "msg", "s", rank, ts);
         json.field("id", flow_id(rank, i));
         json.end_object();
         break;
       case TraceEventKind::kRecv:
-        event_header(json, "recv", "comm", "i", rank, ts);
+        event_header("recv", "comm", "i", rank, ts);
         json.field("s", "t");
         clock_args(json, e);
         json.end_object();
         if (e.peer_event >= 0) {
-          event_header(json, "msg", "msg", "f", rank, ts);
+          event_header("msg", "msg", "f", rank, ts);
           json.field("id", flow_id(e.peer, e.peer_event));
           json.field("bp", "e");
           json.end_object();
         }
         break;
       case TraceEventKind::kCompute:
-        event_header(json, e.label.empty() ? "compute" : e.label.c_str(),
+        event_header(e.label.empty() ? "compute" : e.label.c_str(),
                      "compute", "i", rank, ts);
         json.field("s", "t");
         clock_args(json, e);
         json.end_object();
         break;
       case TraceEventKind::kSpanBegin:
-        event_header(json, e.label.c_str(), "span", "B", rank, ts);
+        event_header(e.label.c_str(), "span", "B", rank, ts);
         json.end_object();
         break;
       case TraceEventKind::kSpanEnd:
-        event_header(json, e.label.c_str(), "span", "E", rank, ts);
+        event_header(e.label.c_str(), "span", "E", rank, ts);
         json.end_object();
         break;
       case TraceEventKind::kClockReset:
-        event_header(json, "clock reset", "comm", "i", rank, ts);
+        event_header("clock reset", "comm", "i", rank, ts);
         json.field("s", "t");
         json.end_object();
         break;
       case TraceEventKind::kProtocol:
-        event_header(json, e.label.empty() ? "protocol" : e.label.c_str(),
+        event_header(e.label.empty() ? "protocol" : e.label.c_str(),
                      "protocol", "i", rank, ts);
         json.field("s", "t");
         clock_args(json, e);
@@ -168,30 +154,101 @@ void write_phase_volumes(JsonWriter& json, const char* key,
 
 }  // namespace
 
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& out)
+    : out_(out), json_(out) {
+  json_.begin_object();
+  json_.field("displayTimeUnit", "ms");
+  json_.key("traceEvents");
+  json_.begin_array();
+}
+
+JsonWriter& ChromeTraceWriter::begin_event(const std::string& name,
+                                           const char* cat, const char* ph,
+                                           int pid, std::int64_t tid,
+                                           double ts) {
+  json_.begin_object();
+  json_.field("name", name);
+  json_.field("cat", cat);
+  json_.field("ph", ph);
+  json_.field("pid", pid);
+  json_.field("tid", tid);
+  json_.field("ts", ts);
+  return json_;
+}
+
+void ChromeTraceWriter::complete_event(const std::string& name,
+                                       const char* cat, int pid,
+                                       std::int64_t tid, double ts,
+                                       double dur) {
+  begin_event(name, cat, "X", pid, tid, ts);
+  json_.field("dur", dur);
+  end_event();
+}
+
+void ChromeTraceWriter::name_meta(const char* meta_name, int pid,
+                                  std::int64_t tid, bool with_tid,
+                                  const std::string& name) {
+  json_.begin_object();
+  json_.field("name", meta_name);
+  json_.field("ph", "M");
+  json_.field("pid", pid);
+  if (with_tid) json_.field("tid", tid);
+  json_.key("args");
+  json_.begin_object();
+  json_.field("name", name);
+  json_.end_object();
+  json_.end_object();
+}
+
+void ChromeTraceWriter::process_name(int pid, const std::string& name) {
+  name_meta("process_name", pid, 0, /*with_tid=*/false, name);
+}
+
+void ChromeTraceWriter::thread_name(int pid, std::int64_t tid,
+                                    const std::string& name) {
+  name_meta("thread_name", pid, tid, /*with_tid=*/true, name);
+}
+
+JsonWriter& ChromeTraceWriter::begin_meta() {
+  CAPSP_CHECK_MSG(events_open_ && !meta_open_,
+                  "begin_meta out of order in ChromeTraceWriter");
+  json_.end_array();
+  events_open_ = false;
+  json_.key("capsp");
+  json_.begin_object();
+  meta_open_ = true;
+  return json_;
+}
+
+void ChromeTraceWriter::close() {
+  if (events_open_) {
+    json_.end_array();
+    events_open_ = false;
+  }
+  if (meta_open_) {
+    json_.end_object();
+    meta_open_ = false;
+  }
+  json_.end_object();
+  out_ << '\n';
+}
+
 void write_chrome_trace(std::ostream& out, const Trace& trace,
                         const CriticalPathReport* latency_path,
                         const CriticalPathReport* bandwidth_path) {
-  JsonWriter json(out);
-  json.begin_object();
-  json.field("displayTimeUnit", "ms");
-  json.key("traceEvents");
-  json.begin_array();
+  ChromeTraceWriter writer(out);
   for (RankId r = 0; r < static_cast<RankId>(trace.per_rank.size()); ++r)
-    write_rank_events(json, r, trace.per_rank[static_cast<std::size_t>(r)]);
-  json.end_array();
-  // Extra top-level keys are preserved by trace viewers; this is where
-  // scripts/trace_summary.py finds the critical-path decomposition.
-  json.key("capsp");
-  json.begin_object();
+    write_rank_events(writer, r, trace.per_rank[static_cast<std::size_t>(r)]);
+  // This is where scripts/trace_summary.py finds the critical-path
+  // decomposition.
+  JsonWriter& json = writer.begin_meta();
   json.field("ranks", static_cast<std::int64_t>(trace.per_rank.size()));
   json.field("events", trace.num_events());
   if (latency_path != nullptr)
     write_by_phase(json, "critical_latency", *latency_path);
   if (bandwidth_path != nullptr)
     write_by_phase(json, "critical_bandwidth", *bandwidth_path);
-  json.end_object();
-  json.end_object();
-  out << '\n';
+  writer.close();
 }
 
 void write_cost_report_json(std::ostream& out, const CostReport& report,

@@ -10,13 +10,65 @@
 //   optionally with the per-phase critical-path decompositions.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
+#include <string>
 
 #include "machine/cost_model.hpp"
 #include "machine/trace.hpp"
 #include "machine/watchdog.hpp"
+#include "util/json.hpp"
 
 namespace capsp {
+
+/// Low-level Chrome trace-event document writer, shared by the solver
+/// exporter below and the serving layer's request-trace exporter
+/// (serve/reqtrace), so both produce files the same viewers open the
+/// same way.  Usage: construct (opens the document and the traceEvents
+/// array), emit events, optionally begin_meta() to add fields under the
+/// "capsp" top-level key, then close().
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& out);
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  /// Open one trace-event record with the common fields.  The caller may
+  /// append more fields (dur, args, ...) through json() and must finish
+  /// the record with end_event().
+  JsonWriter& begin_event(const std::string& name, const char* cat,
+                          const char* ph, int pid, std::int64_t tid,
+                          double ts);
+  void end_event() { json_.end_object(); }
+
+  /// Closed "X" (complete) event: a slice of `dur` microseconds.
+  void complete_event(const std::string& name, const char* cat, int pid,
+                      std::int64_t tid, double ts, double dur);
+
+  /// Track naming metadata ("M" events).
+  void process_name(int pid, const std::string& name);
+  void thread_name(int pid, std::int64_t tid, const std::string& name);
+
+  /// Close the traceEvents array and open the "capsp" top-level object
+  /// (extra top-level keys are explicitly allowed by the format; this is
+  /// where scripts/trace_summary.py finds capsp-specific metadata).
+  JsonWriter& begin_meta();
+
+  /// Finish the document (closes the meta object if open).  Must be the
+  /// last call.
+  void close();
+
+  JsonWriter& json() { return json_; }
+
+ private:
+  void name_meta(const char* meta_name, int pid, std::int64_t tid,
+                 bool with_tid, const std::string& name);
+
+  std::ostream& out_;
+  JsonWriter json_;
+  bool events_open_ = true;
+  bool meta_open_ = false;
+};
 
 /// Write `trace` as Chrome trace-event JSON.  Optional critical-path
 /// reports (latency and/or bandwidth axis) are embedded as metadata under

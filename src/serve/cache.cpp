@@ -1,8 +1,10 @@
 #include "serve/cache.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "serve/reqtrace.hpp"
 #include "util/check.hpp"
 
 namespace capsp {
@@ -15,22 +17,37 @@ TileCache::TileCache(TileCacheOptions options, MetricsRegistry& registry)
   CAPSP_CHECK_MSG(options.shards >= 1,
                   "cache shards must be >= 1, got " << options.shards);
   shards_ = std::vector<Shard>(static_cast<std::size_t>(options.shards));
+  for (std::size_t j = 0; j < shards_.size(); ++j) {
+    const std::string base = "serve.cache.shard" + std::to_string(j);
+    shards_[j].hit_name = base + ".hit";
+    shards_[j].miss_name = base + ".miss";
+    shards_[j].eviction_name = base + ".eviction";
+  }
   shard_budget_ = std::max<std::int64_t>(
       options.byte_budget / options.shards, 1);
 }
 
-std::shared_ptr<const DistBlock> TileCache::get(std::int64_t tile_id) {
+std::shared_ptr<const DistBlock> TileCache::get(std::int64_t tile_id,
+                                                RequestTrace* trace) {
+  // Opened pessimistically as a miss; renamed once the lookup lands.
+  ScopedSpan span(trace, "tile.cache_miss");
+  span.detail("tile", tile_id);
   Shard& shard = shard_for(tile_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(tile_id);
   if (it == shard.index.end()) {
+    ++shard.misses;
     misses_.fetch_add(1, std::memory_order_relaxed);
     registry_.counter_add("serve.cache.miss");
+    registry_.counter_add(shard.miss_name);
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
   hits_.fetch_add(1, std::memory_order_relaxed);
   registry_.counter_add("serve.cache.hit");
+  registry_.counter_add(shard.hit_name);
+  span.rename("tile.cache_hit");
   return it->second->tile;
 }
 
@@ -67,6 +84,7 @@ std::shared_ptr<const DistBlock> TileCache::put(std::int64_t tile_id,
         shard.index.erase(victim.id);
         shard.lru.pop_back();
         ++evicted;
+        ++shard.evictions;
         --entry_delta;
       }
     }
@@ -74,12 +92,16 @@ std::shared_ptr<const DistBlock> TileCache::put(std::int64_t tile_id,
   if (evicted > 0) {
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
     registry_.counter_add("serve.cache.eviction", evicted);
+    registry_.counter_add(shard.eviction_name, evicted);
   }
   bytes_.fetch_add(byte_delta, std::memory_order_relaxed);
   entries_.fetch_add(entry_delta, std::memory_order_relaxed);
   registry_.gauge_set("serve.cache.bytes",
                       static_cast<double>(
                           bytes_.load(std::memory_order_relaxed)));
+  registry_.gauge_set("serve.cache.entries",
+                      static_cast<double>(
+                          entries_.load(std::memory_order_relaxed)));
   return cached;
 }
 
@@ -90,6 +112,20 @@ TileCache::Stats TileCache::stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.bytes = bytes_.load(std::memory_order_relaxed);
   stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<TileCache::Stats> TileCache::shard_stats() const {
+  std::vector<Stats> stats(shards_.size());
+  for (std::size_t j = 0; j < shards_.size(); ++j) {
+    const Shard& shard = shards_[j];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats[j].hits = shard.hits;
+    stats[j].misses = shard.misses;
+    stats[j].evictions = shard.evictions;
+    stats[j].bytes = shard.bytes;
+    stats[j].entries = static_cast<std::int64_t>(shard.lru.size());
+  }
   return stats;
 }
 

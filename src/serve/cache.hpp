@@ -18,6 +18,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "util/metrics.hpp"
 
 namespace capsp {
+
+class RequestTrace;
 
 struct TileCacheOptions {
   /// Total payload budget across all shards.
@@ -40,13 +43,18 @@ class TileCache {
   static constexpr std::int64_t kEntryOverheadBytes = 64;
 
   /// Hit/miss/eviction counters also land in `registry` under
-  /// `serve.cache.*` so they show up in the service's metrics snapshot.
+  /// `serve.cache.*` so they show up in the service's metrics snapshot —
+  /// both the aggregate counters and a `serve.cache.shard<j>.*` set per
+  /// shard, so a skewed mix's contention hot spot is visible from the
+  /// metrics alone.
   TileCache(TileCacheOptions options, MetricsRegistry& registry);
   TileCache(const TileCache&) = delete;
   TileCache& operator=(const TileCache&) = delete;
 
-  /// Cached tile, or nullptr on miss.  A hit refreshes recency.
-  std::shared_ptr<const DistBlock> get(std::int64_t tile_id);
+  /// Cached tile, or nullptr on miss.  A hit refreshes recency.  A
+  /// non-null `trace` gets a tile.cache_hit / tile.cache_miss span.
+  std::shared_ptr<const DistBlock> get(std::int64_t tile_id,
+                                       RequestTrace* trace = nullptr);
 
   /// Insert (or refresh) a tile, evicting least-recently-used entries of
   /// the shard until it is back under its budget share.  Returns the
@@ -61,6 +69,9 @@ class TileCache {
     std::int64_t entries = 0;
   };
   Stats stats() const;
+  /// Per-shard view of the same counters (index = tile_id % num_shards).
+  std::vector<Stats> shard_stats() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct Entry {
@@ -69,10 +80,16 @@ class TileCache {
     std::int64_t bytes = 0;
   };
   struct Shard {
-    std::mutex mutex;
+    mutable std::mutex mutex;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::int64_t, std::list<Entry>::iterator> index;
     std::int64_t bytes = 0;
+    // Per-shard counters (guarded by `mutex`) and their registry names,
+    // precomputed so the hot path never builds a string.
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::string hit_name, miss_name, eviction_name;
   };
 
   Shard& shard_for(std::int64_t tile_id) {

@@ -2,17 +2,51 @@
 
 #include <algorithm>
 #include <queue>
+#include <sstream>
 #include <string>
 
 #include "core/path_oracle.hpp"
+#include "serve/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "util/prometheus.hpp"
 
 namespace capsp {
 namespace {
 
 double to_micros(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
+}
+
+void write_window(JsonWriter& json, const char* key, const WindowStats& w) {
+  json.key(key);
+  json.begin_object();
+  json.field("count", w.count);
+  json.field("rate_per_second", w.rate_per_second);
+  json.field("mean", w.mean);
+  json.field("min", w.min);
+  json.field("max", w.max);
+  json.field("p50", w.p50);
+  json.field("p95", w.p95);
+  json.field("p99", w.p99);
+  json.field("covered_seconds", w.covered_seconds);
+  json.end_object();
+}
+
+void write_slo_objective(JsonWriter& json, const char* key,
+                         const SloTracker::Objective& o) {
+  json.key(key);
+  json.begin_object();
+  json.field("enabled", o.enabled);
+  json.field("target", o.target);
+  json.field("total", o.total);
+  json.field("good", o.good);
+  json.field("compliance", o.compliance);
+  json.field("budget_remaining", o.budget_remaining);
+  json.field("window_total", o.window_total);
+  json.field("window_bad_fraction", o.window_bad_fraction);
+  json.field("burn_rate", o.burn_rate);
+  json.end_object();
 }
 
 const char* outcome_counter(ServeError error) {
@@ -43,7 +77,12 @@ DistanceService::DistanceService(std::shared_ptr<SnapshotReader> snapshot,
     : graph_(std::move(graph)),
       snapshot_(std::move(snapshot)),
       options_(options),
-      cache_({options.cache_bytes, options.cache_shards}, registry_) {
+      cache_({options.cache_bytes, options.cache_shards}, registry_),
+      trace_log_({options.trace_sample_every, options.slow_trace_ms * 1000.0,
+                  options.trace_keep, options.slow_trace_keep}),
+      slo_(options.slo),
+      latency_window_(options.window_seconds, options.window_slices),
+      error_window_(options.window_seconds, options.window_slices) {
   CAPSP_CHECK_MSG(snapshot_ != nullptr, "DistanceService needs a snapshot");
   const SnapshotHeader& h = snapshot_->header();
   CAPSP_CHECK_MSG(h.rows == graph_.num_vertices() &&
@@ -69,6 +108,7 @@ void DistanceService::stop() {
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  if (telemetry_ != nullptr) telemetry_->stop();
 }
 
 void DistanceService::worker_loop() {
@@ -82,7 +122,11 @@ void DistanceService::worker_loop() {
       queue_.pop_front();
     }
     const bool expired = Clock::now() > job.deadline;
-    job.run(expired);
+    if (job.trace != nullptr) job.trace->mark_dequeued();
+    job.run(expired, job.trace.get());
+    // Routing happens after the reply resolves, but stop() joins this
+    // thread, so a drained service always has every trace routed.
+    if (job.trace != nullptr) route_trace(std::move(job.trace));
   }
 }
 
@@ -113,7 +157,16 @@ bool DistanceService::submit(Job job,
     }
   }
   if (verdict != ServeError::kOk) {
+    const auto now = Clock::now();
     registry_.counter_add(outcome_counter(verdict));
+    error_window_.observe(1.0, now);
+    // Rejections never executed, so they touch only the availability
+    // objective (latency_us is ignored for non-ok outcomes).
+    slo_.record(false, 0.0, now);
+    if (job.trace != nullptr) {
+      job.trace->finish(to_string(verdict), now);
+      route_trace(std::move(job.trace));
+    }
     reject(verdict);
     return false;
   }
@@ -122,16 +175,26 @@ bool DistanceService::submit(Job job,
 }
 
 void DistanceService::record_outcome(Clock::time_point enqueue,
-                                     ServeError error) {
-  registry_.observe("serve.request.latency_us",
-                    to_micros(Clock::now() - enqueue));
+                                     ServeError error, RequestTrace* trace) {
+  const auto now = Clock::now();
+  const double latency_us = to_micros(now - enqueue);
+  registry_.observe("serve.request.latency_us", latency_us);
   registry_.counter_add(outcome_counter(error));
+  latency_window_.observe(latency_us, now);
+  if (error != ServeError::kOk) error_window_.observe(1.0, now);
+  slo_.record(error == ServeError::kOk, latency_us, now);
+  if (trace != nullptr) trace->finish(to_string(error), now);
+}
+
+void DistanceService::route_trace(std::shared_ptr<RequestTrace> trace) {
+  if (trace_log_.finish(std::move(trace)))
+    registry_.counter_add("serve.trace.slow");
 }
 
 std::shared_ptr<const DistBlock> DistanceService::fetch_tile(
-    std::int64_t tile_id) {
-  if (auto tile = cache_.get(tile_id)) return tile;
-  DistBlock loaded = snapshot_->read_tile(tile_id);
+    std::int64_t tile_id, RequestTrace* trace) {
+  if (auto tile = cache_.get(tile_id, trace)) return tile;
+  DistBlock loaded = snapshot_->read_tile(tile_id, trace);
   registry_.counter_add("serve.io.tiles_loaded");
   registry_.counter_add("serve.io.bytes_read",
                         loaded.size() *
@@ -139,23 +202,27 @@ std::shared_ptr<const DistBlock> DistanceService::fetch_tile(
   return cache_.put(tile_id, std::move(loaded));
 }
 
-Dist DistanceService::lookup(Vertex u, Vertex v) {
+Dist DistanceService::lookup(Vertex u, Vertex v, RequestTrace* trace) {
   const std::int64_t t = snapshot_->header().tile_dim;
   const std::int64_t tr = u / t, tc = v / t;
-  const auto tile = fetch_tile(snapshot_->header().tile_id(tr, tc));
+  const auto tile = fetch_tile(snapshot_->header().tile_id(tr, tc), trace);
   return tile->at(u - tr * t, v - tc * t);
 }
 
-DistanceReply DistanceService::do_distance(Vertex u, Vertex v) {
-  return {ServeError::kOk, lookup(u, v)};
+DistanceReply DistanceService::do_distance(Vertex u, Vertex v,
+                                           RequestTrace* trace) {
+  return {ServeError::kOk, lookup(u, v, trace)};
 }
 
 PathReply DistanceService::do_path(Vertex u, Vertex v,
-                                   Clock::time_point deadline) {
+                                   Clock::time_point deadline,
+                                   RequestTrace* trace) {
   PathReply reply;
-  reply.distance = lookup(u, v);
+  reply.distance = lookup(u, v, trace);
   if (is_inf(reply.distance)) return reply;  // unreachable: ok, empty path
-  const auto dist_fn = [this](Vertex a, Vertex b) { return lookup(a, b); };
+  const auto dist_fn = [this, trace](Vertex a, Vertex b) {
+    return lookup(a, b, trace);
+  };
   std::vector<Vertex> path{u};
   Vertex cursor = u;
   for (Vertex steps = 0; cursor != v; ++steps) {
@@ -165,6 +232,8 @@ PathReply DistanceService::do_path(Vertex u, Vertex v,
     }
     CAPSP_CHECK_MSG(steps < graph_.num_vertices(),
                     "path reconstruction looped; inconsistent inputs");
+    ScopedSpan hop(trace, "path.hop");
+    hop.detail("from", cursor);
     cursor = next_hop_via(graph_, cursor, v, dist_fn);
     path.push_back(cursor);
   }
@@ -175,7 +244,8 @@ PathReply DistanceService::do_path(Vertex u, Vertex v,
 }
 
 KNearestReply DistanceService::do_k_nearest(Vertex u, int k,
-                                            Clock::time_point deadline) {
+                                            Clock::time_point deadline,
+                                            RequestTrace* trace) {
   KNearestReply reply;
   if (k <= 0) return reply;
   const SnapshotHeader& h = snapshot_->header();
@@ -189,7 +259,7 @@ KNearestReply DistanceService::do_k_nearest(Vertex u, int k,
       reply.error = ServeError::kDeadlineExceeded;
       return reply;
     }
-    const auto tile = fetch_tile(h.tile_id(tr, tc));
+    const auto tile = fetch_tile(h.tile_id(tr, tc), trace);
     const std::int64_t row = u - tr * t;
     for (std::int64_t c = 0; c < tile->cols(); ++c) {
       const auto v = static_cast<Vertex>(tc * t + c);
@@ -223,12 +293,14 @@ std::future<DistanceReply> DistanceService::distance_async(
   job.enqueue = now;
   job.deadline = deadline_from(deadline_seconds, now);
   job.kind = "distance";
-  job.run = [this, u, v, promise, enqueue = now](bool expired) {
+  job.trace = trace_log_.maybe_start("distance", u, v, -1);
+  job.run = [this, u, v, promise, enqueue = now](bool expired,
+                                                 RequestTrace* trace) {
     DistanceReply reply = expired
                               ? DistanceReply{ServeError::kDeadlineExceeded,
                                               kInf}
-                              : do_distance(u, v);
-    record_outcome(enqueue, reply.error);
+                              : do_distance(u, v, trace);
+    record_outcome(enqueue, reply.error, trace);
     promise->set_value(reply);
   };
   submit(std::move(job), [promise](ServeError error) {
@@ -250,14 +322,15 @@ std::future<PathReply> DistanceService::shortest_path_async(
   job.enqueue = now;
   job.deadline = deadline_from(deadline_seconds, now);
   job.kind = "path";
+  job.trace = trace_log_.maybe_start("path", u, v, -1);
   job.run = [this, u, v, promise, enqueue = now,
-             deadline = job.deadline](bool expired) {
+             deadline = job.deadline](bool expired, RequestTrace* trace) {
     PathReply reply;
     if (expired)
       reply.error = ServeError::kDeadlineExceeded;
     else
-      reply = do_path(u, v, deadline);
-    record_outcome(enqueue, reply.error);
+      reply = do_path(u, v, deadline, trace);
+    record_outcome(enqueue, reply.error, trace);
     promise->set_value(std::move(reply));
   };
   submit(std::move(job), [promise](ServeError error) {
@@ -280,14 +353,15 @@ std::future<KNearestReply> DistanceService::k_nearest_async(
   job.enqueue = now;
   job.deadline = deadline_from(deadline_seconds, now);
   job.kind = "knear";
+  job.trace = trace_log_.maybe_start("knear", u, -1, k);
   job.run = [this, u, k, promise, enqueue = now,
-             deadline = job.deadline](bool expired) {
+             deadline = job.deadline](bool expired, RequestTrace* trace) {
     KNearestReply reply;
     if (expired)
       reply.error = ServeError::kDeadlineExceeded;
     else
-      reply = do_k_nearest(u, k, deadline);
-    record_outcome(enqueue, reply.error);
+      reply = do_k_nearest(u, k, deadline, trace);
+    record_outcome(enqueue, reply.error, trace);
     promise->set_value(std::move(reply));
   };
   submit(std::move(job), [promise](ServeError error) {
@@ -377,6 +451,18 @@ void DistanceService::write_summary_fields(JsonWriter& json) const {
              lookups > 0 ? static_cast<double>(cache.hits) /
                                static_cast<double>(lookups)
                          : 0.0);
+  json.key("shards");
+  json.begin_array();
+  for (const TileCache::Stats& shard : cache_.shard_stats()) {
+    json.begin_object();
+    json.field("hits", shard.hits);
+    json.field("misses", shard.misses);
+    json.field("evictions", shard.evictions);
+    json.field("bytes", shard.bytes);
+    json.field("entries", shard.entries);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   json.field("bytes_read", counter("serve.io.bytes_read"));
@@ -394,9 +480,71 @@ void DistanceService::write_summary_fields(JsonWriter& json) const {
     json.field("count", std::int64_t{0});
   }
   json.end_object();
+
+  // Rolling windows: the last window_seconds of traffic, as /stats.json
+  // serves them live.
+  json.key("windows");
+  json.begin_object();
+  json.field("seconds", options_.window_seconds);
+  write_window(json, "latency_us", latency_window_.stats());
+  write_window(json, "errors", error_window_.stats());
+  json.end_object();
+
+  const SloTracker::Snapshot slo = slo_.snapshot();
+  json.key("slo");
+  json.begin_object();
+  json.field("latency_ms", options_.slo.latency_ms);
+  json.field("window_seconds", options_.slo.window_seconds);
+  write_slo_objective(json, "latency", slo.latency);
+  write_slo_objective(json, "availability", slo.availability);
+  json.end_object();
+
+  const RequestTraceLog::Stats traces = trace_log_.stats();
+  json.key("reqtrace");
+  json.begin_object();
+  json.field("enabled", trace_log_.enabled());
+  json.field("sample_every", options_.trace_sample_every);
+  json.field("slow_ms", options_.slow_trace_ms);
+  json.field("started", traces.started);
+  json.field("slow", traces.slow);
+  json.field("sampled_kept", traces.sampled_kept);
+  json.field("dropped", traces.dropped);
+  json.end_object();
   json.end_object();
 
   write_metrics_fields(json, metrics);
+}
+
+int DistanceService::start_telemetry(int port) {
+  CAPSP_CHECK_MSG(telemetry_ == nullptr, "telemetry already started");
+  telemetry_ = std::make_unique<TelemetryServer>();
+  telemetry_->handle("/metrics", [this] {
+    std::ostringstream out;
+    write_prometheus_text(out, registry_.snapshot(), "capsp_");
+    return TelemetryResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             out.str()};
+  });
+  telemetry_->handle("/healthz", [this] {
+    bool stopping = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      stopping = stopping_;
+    }
+    return stopping ? TelemetryResponse{503, "text/plain; charset=utf-8",
+                                        "stopping\n"}
+                    : TelemetryResponse{200, "text/plain; charset=utf-8",
+                                        "ok\n"};
+  });
+  telemetry_->handle("/stats.json", [this] {
+    std::ostringstream out;
+    write_summary_json(out);
+    return TelemetryResponse{200, "application/json", out.str()};
+  });
+  return telemetry_->start(port);
+}
+
+int DistanceService::telemetry_port() const {
+  return telemetry_ == nullptr ? 0 : telemetry_->port();
 }
 
 void DistanceService::write_summary_json(std::ostream& out) const {

@@ -18,6 +18,16 @@
 // MetricsRegistry (util/metrics, `serve.*` names): latency histograms,
 // hit/miss counters, queue-depth gauges, bytes read — summarized as JSON
 // by write_summary_json for scripts/trace_summary.py serve.
+//
+// Observability on top of that (docs/telemetry.md):
+//   * request tracing — sampled span trees (serve/reqtrace) threaded
+//     through the cache and the snapshot reader, plus an always-on
+//     slow-request log;
+//   * rolling windows — sliding-window latency/error aggregates
+//     (util/metrics RollingHistogram) and an SLO tracker (serve/slo),
+//     both in the summary JSON;
+//   * start_telemetry() — a live HTTP endpoint (serve/telemetry) with
+//     /metrics (Prometheus), /healthz, and /stats.json.
 #pragma once
 
 #include <chrono>
@@ -36,12 +46,15 @@
 
 #include "graph/graph.hpp"
 #include "serve/cache.hpp"
+#include "serve/reqtrace.hpp"
+#include "serve/slo.hpp"
 #include "serve/snapshot.hpp"
 #include "util/metrics.hpp"
 
 namespace capsp {
 
 class JsonWriter;
+class TelemetryServer;
 
 /// Structured request outcome.  kOk replies carry a value; the error
 /// replies are the graceful-degradation contract: a caller always gets an
@@ -67,6 +80,23 @@ struct ServeOptions {
   std::size_t max_queue = 4096;
   /// Deadline applied when a request does not carry its own; 0 = none.
   double default_deadline_seconds = 0;
+
+  /// Request tracing (serve/reqtrace): trace every Nth request into the
+  /// sampled ring (0 = sampling off).
+  std::int64_t trace_sample_every = 0;
+  /// Slow-request threshold in milliseconds (0 = slow log off).  Any
+  /// request at or over it keeps its full span tree even when sampling
+  /// would have dropped it.
+  double slow_trace_ms = 0;
+  std::size_t trace_keep = 128;      ///< sampled-trace ring capacity
+  std::size_t slow_trace_keep = 32;  ///< slow-trace ring capacity
+
+  /// Rolling latency/error window (util/metrics RollingHistogram).
+  double window_seconds = 10;
+  int window_slices = 10;
+
+  /// Latency/availability objectives (serve/slo).
+  SloOptions slo;
 };
 
 struct DistanceReply {
@@ -133,8 +163,27 @@ class DistanceService {
   void stop();
 
   TileCache::Stats cache_stats() const { return cache_.stats(); }
+  std::vector<TileCache::Stats> cache_shard_stats() const {
+    return cache_.shard_stats();
+  }
   /// Snapshot of the service's own registry (`serve.*` metrics).
   MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
+
+  /// The request-trace log (sampled ring + slow log); export its kept
+  /// traces with RequestTraceLog::write_chrome_json.
+  const RequestTraceLog& trace_log() const { return trace_log_; }
+  /// Rolling-window views of the last `window_seconds` of traffic.
+  WindowStats latency_window() const { return latency_window_.stats(); }
+  WindowStats error_window() const { return error_window_.stats(); }
+  SloTracker::Snapshot slo_snapshot() const { return slo_.snapshot(); }
+
+  /// Start the embedded telemetry endpoint (serve/telemetry) on
+  /// 127.0.0.1:`port` (0 = ephemeral); returns the bound port.  Serves
+  /// /metrics (Prometheus text of the serve.* registry, `capsp_` prefix),
+  /// /healthz, and /stats.json (the summary JSON below).  Stopped by
+  /// stop().
+  int start_telemetry(int port = 0);
+  int telemetry_port() const;
   /// Merge the service's metrics into `target` (e.g. the global registry,
   /// for tools that emit one combined --metrics-json).
   void merge_metrics_into(MetricsRegistry& target) const {
@@ -155,8 +204,12 @@ class DistanceService {
     Clock::time_point enqueue;
     Clock::time_point deadline;  // time_point::max() = none
     const char* kind = "";
+    /// Span tree of this request, when it drew a trace (nullptr = not
+    /// traced).  shared_ptr because Job lives inside copyable
+    /// std::function plumbing; ownership is logically unique.
+    std::shared_ptr<RequestTrace> trace;
     /// Runs on a worker; `expired` is the queued-too-long verdict.
-    std::function<void(bool expired)> run;
+    std::function<void(bool expired, RequestTrace* trace)> run;
   };
 
   /// Admission control + enqueue; returns false (after failing the
@@ -167,21 +220,37 @@ class DistanceService {
                                   Clock::time_point now) const;
 
   /// Tile fetch through the cache; counts IO metrics on miss.
-  std::shared_ptr<const DistBlock> fetch_tile(std::int64_t tile_id);
+  std::shared_ptr<const DistBlock> fetch_tile(std::int64_t tile_id,
+                                              RequestTrace* trace);
   /// One matrix entry via its tile.
-  Dist lookup(Vertex u, Vertex v);
+  Dist lookup(Vertex u, Vertex v, RequestTrace* trace);
 
-  DistanceReply do_distance(Vertex u, Vertex v);
-  PathReply do_path(Vertex u, Vertex v, Clock::time_point deadline);
-  KNearestReply do_k_nearest(Vertex u, int k, Clock::time_point deadline);
+  DistanceReply do_distance(Vertex u, Vertex v, RequestTrace* trace);
+  PathReply do_path(Vertex u, Vertex v, Clock::time_point deadline,
+                    RequestTrace* trace);
+  KNearestReply do_k_nearest(Vertex u, int k, Clock::time_point deadline,
+                             RequestTrace* trace);
 
-  void record_outcome(Clock::time_point enqueue, ServeError error);
+  /// Latency histogram + outcome counter + rolling windows + SLO, and —
+  /// when the request was traced — the trace's end timestamp.  Called on
+  /// the worker before the reply promise resolves, so a caller that sees
+  /// the reply also sees its metrics.
+  void record_outcome(Clock::time_point enqueue, ServeError error,
+                      RequestTrace* trace);
+  /// Route a finished trace into the log (slow ring / sampled ring /
+  /// dropped) and count it.
+  void route_trace(std::shared_ptr<RequestTrace> trace);
 
   Graph graph_;
   std::shared_ptr<SnapshotReader> snapshot_;
   ServeOptions options_;
   MetricsRegistry registry_;
   TileCache cache_;
+  RequestTraceLog trace_log_;
+  SloTracker slo_;
+  RollingHistogram latency_window_;
+  RollingHistogram error_window_;
+  std::unique_ptr<TelemetryServer> telemetry_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -5,6 +5,7 @@
 
 #include "machine/reliable.hpp"
 #include "semiring/block_io.hpp"
+#include "serve/reqtrace.hpp"
 #include "util/check.hpp"
 
 namespace capsp {
@@ -223,18 +224,24 @@ std::int64_t SnapshotReader::tile_bytes(std::int64_t tile_id) const {
   return tile_payload_bytes(header_, tile_id);
 }
 
-DistBlock SnapshotReader::read_tile(std::int64_t tile_id) const {
+DistBlock SnapshotReader::read_tile(std::int64_t tile_id,
+                                    RequestTrace* trace) const {
   CAPSP_CHECK_MSG(tile_id >= 0 && tile_id < header_.num_tiles(),
                   "tile " << tile_id << " outside [0," << header_.num_tiles()
                           << ")");
   const std::int64_t tr = tile_id / header_.tile_cols();
   const std::int64_t tc = tile_id % header_.tile_cols();
-  if (!file_backed_)
+  if (!file_backed_) {
+    ScopedSpan span(trace, "tile.snapshot_read");
+    span.detail("tile", tile_id);
     return matrix_.sub_block(tr * header_.tile_dim, tc * header_.tile_dim,
                              header_.tile_row_dim(tr),
                              header_.tile_col_dim(tc));
+  }
   DistBlock tile(header_.tile_row_dim(tr), header_.tile_col_dim(tc));
   {
+    ScopedSpan span(trace, "tile.snapshot_read");
+    span.detail("tile", tile_id);
     std::lock_guard<std::mutex> lock(io_mutex_);
     file_.seekg(offsets_[static_cast<std::size_t>(tile_id)]);
     read_exact_bytes(file_, tile.data().data(),
@@ -242,6 +249,8 @@ DistBlock SnapshotReader::read_tile(std::int64_t tile_id) const {
                                                   sizeof(Dist)),
                      "snapshot tile payload");
   }
+  ScopedSpan span(trace, "tile.checksum");
+  span.detail("tile", tile_id);
   CAPSP_CHECK_MSG(
       frame_checksum(tile_id, tile.data()) ==
           static_cast<std::uint64_t>(

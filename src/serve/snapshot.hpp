@@ -33,6 +33,8 @@
 
 namespace capsp {
 
+class RequestTrace;
+
 inline constexpr std::int64_t kDefaultTileDim = 64;
 
 /// Geometry of a tiled snapshot: matrix dimensions plus the tile grid
@@ -129,7 +131,11 @@ class SnapshotReader {
   /// Payload bytes of one tile (what a cache should charge for it).
   std::int64_t tile_bytes(std::int64_t tile_id) const;
 
-  DistBlock read_tile(std::int64_t tile_id) const;
+  /// A non-null `trace` (serve/reqtrace) gets a tile.snapshot_read span
+  /// for the payload read and, on the file-backed path, a tile.checksum
+  /// span for the verification.
+  DistBlock read_tile(std::int64_t tile_id,
+                      RequestTrace* trace = nullptr) const;
   DistBlock read_tile(std::int64_t tr, std::int64_t tc) const {
     return read_tile(header_.tile_id(tr, tc));
   }

@@ -1,0 +1,159 @@
+#include "serve/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace capsp {
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; telemetry is best-effort
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string render(const TelemetryResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::handle(std::string path, Handler handler) {
+  CAPSP_CHECK_MSG(!running(),
+                  "telemetry handlers must be registered before start()");
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+int TelemetryServer::start(int port) {
+  CAPSP_CHECK_MSG(!running(), "telemetry server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  CAPSP_CHECK_MSG(listen_fd_ >= 0,
+                  "telemetry socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CAPSP_CHECK_MSG(false, "telemetry cannot listen on 127.0.0.1:"
+                               << port << ": " << std::strerror(saved));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return port_;
+}
+
+void TelemetryServer::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::serve_loop() {
+  // Poll with a short timeout so stop() is observed within ~100 ms
+  // without needing a self-pipe.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::serve_connection(int fd) {
+  // Bound both the read size (scrape requests are tiny) and the wait, so
+  // a stalled client cannot wedge the accept loop.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buffer[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  TelemetryResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = {405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t query = path.find('?');
+        query != std::string::npos)
+      path.resize(query);
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      try {
+        response = it->second();
+      } catch (const std::exception& e) {
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("handler failed: ") + e.what() + "\n"};
+      }
+    }
+  }
+  send_all(fd, render(response));
+}
+
+}  // namespace capsp

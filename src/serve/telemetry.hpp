@@ -1,0 +1,72 @@
+// Minimal embedded telemetry HTTP endpoint (docs/telemetry.md).
+//
+// A DistanceService that runs for more than a moment (serve_tool soak /
+// open-loop) should be observable while it runs, not only in its exit
+// summary.  This is the smallest HTTP/1.1 server that a Prometheus
+// scraper and `curl` are happy with — plain POSIX sockets (no new
+// dependencies), one accept thread handling connections serially,
+// GET-only, Content-Length framing, Connection: close.  Handlers are
+// registered per path before start(); DistanceService::start_telemetry
+// wires up:
+//
+//   /metrics     the serve.* registry in Prometheus text exposition
+//   /healthz     liveness ("ok", 503 once the service is stopping)
+//   /stats.json  the summary JSON including rolling windows and SLO
+//
+// Serial handling is a feature at this scale: telemetry traffic is a few
+// scrapes a second, and one thread means no handler ever observes the
+// service concurrently with its own teardown (stop() joins before
+// members die).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace capsp {
+
+struct TelemetryResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class TelemetryServer {
+ public:
+  using Handler = std::function<TelemetryResponse()>;
+
+  TelemetryServer() = default;
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Register `handler` for exact-match GET `path` (query strings are
+  /// stripped before matching).  Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start the accept thread.
+  /// Returns the bound port.  CHECK-fails if the port is taken.
+  int start(int port = 0);
+  /// Bound port, 0 before start().
+  int port() const { return port_; }
+  bool running() const { return thread_.joinable(); }
+
+  /// Stop accepting, join the thread, close the socket.  Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace capsp

@@ -75,6 +75,73 @@ double Histogram::percentile(double q) const {
   return max;
 }
 
+RollingHistogram::RollingHistogram(double window_seconds, int slices,
+                                   Clock::time_point epoch)
+    : num_slices_(slices), epoch_(epoch) {
+  CAPSP_CHECK_MSG(window_seconds > 0,
+                  "window_seconds must be > 0, got " << window_seconds);
+  CAPSP_CHECK_MSG(slices >= 1, "window needs >= 1 slice, got " << slices);
+  slice_seconds_ = window_seconds / slices;
+  slices_.resize(static_cast<std::size_t>(slices));
+}
+
+std::int64_t RollingHistogram::slice_of(Clock::time_point now) const {
+  const double elapsed =
+      std::chrono::duration<double>(now - epoch_).count();
+  if (elapsed <= 0) return 0;
+  return static_cast<std::int64_t>(elapsed / slice_seconds_);
+}
+
+void RollingHistogram::observe(double value, Clock::time_point now) {
+  const std::int64_t s = slice_of(now);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slice& slice = slices_[static_cast<std::size_t>(
+      s % static_cast<std::int64_t>(slices_.size()))];
+  if (slice.index != s) {
+    // Lazy rotation: this slot last held an expired slice; recycle it.
+    slice.index = s;
+    slice.hist = Histogram{};
+  }
+  slice.hist.observe(value);
+}
+
+WindowStats RollingHistogram::stats(Clock::time_point now) const {
+  const std::int64_t s = slice_of(now);
+  Histogram merged;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Slice& slice : slices_) {
+      // Inside the window ending at `now`: the current slice and the
+      // num_slices-1 before it.  Slots holding older (or never-written)
+      // indices are expired and excluded.
+      if (slice.index < 0 || slice.index > s ||
+          slice.index <= s - static_cast<std::int64_t>(slices_.size()))
+        continue;
+      merged.merge(slice.hist);
+    }
+  }
+  WindowStats stats;
+  stats.count = merged.count;
+  const double elapsed =
+      std::chrono::duration<double>(now - epoch_).count();
+  // Early in a run the window is not yet full; dividing by the full
+  // window would understate the rate, so cover only elapsed time (but at
+  // least one slice, so a burst in the first instant is not infinite).
+  stats.covered_seconds = std::clamp(elapsed, slice_seconds_,
+                                     slice_seconds_ * num_slices_);
+  stats.rate_per_second =
+      static_cast<double>(merged.count) / stats.covered_seconds;
+  if (merged.count > 0) {
+    stats.mean = merged.mean();
+    stats.min = merged.min;
+    stats.max = merged.max;
+    stats.p50 = merged.percentile(0.50);
+    stats.p95 = merged.percentile(0.95);
+    stats.p99 = merged.percentile(0.99);
+  }
+  return stats;
+}
+
 MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) {
   return shards_[shard_index(name)];
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -22,6 +23,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace capsp {
 
@@ -50,6 +52,68 @@ struct Histogram {
   /// single-valued distributions; otherwise correct to within the 2×
   /// bucket resolution.
   double percentile(double q) const;
+};
+
+/// Aggregates over a sliding time window, as computed by
+/// RollingHistogram::stats: everything a live telemetry endpoint wants to
+/// show about "the last W seconds" without the cumulative histogram's
+/// since-startup smearing.
+struct WindowStats {
+  std::int64_t count = 0;
+  double rate_per_second = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Seconds of history the stats actually cover (≤ the configured
+  /// window; shorter right after startup).
+  double covered_seconds = 0.0;
+};
+
+/// Sliding-window histogram: a ring of `slices` log₂ Histograms, each
+/// covering window_seconds/slices of wall time.  observe() lands a value
+/// in the slice owning `now`; stats() merges the slices still inside the
+/// window ending at `now` and derives quantiles and a rate.  Expired
+/// slices are recycled lazily, so rotation is O(1) per observation.
+///
+/// Time is passed in explicitly (defaulting to steady_clock::now), which
+/// makes the rotation logic deterministic under test: inject a fabricated
+/// monotonic clock and the slice arithmetic is exact.  Timestamps must be
+/// monotone non-decreasing; the steady clock guarantees that, and tests
+/// must preserve it.
+///
+/// Thread-safe (one mutex; windows are read far less often than the
+/// lock-sharded cumulative registry, so a single lock is fine).
+class RollingHistogram {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit RollingHistogram(double window_seconds = 10.0, int slices = 10,
+                            Clock::time_point epoch = Clock::now());
+
+  double window_seconds() const { return slice_seconds_ * num_slices_; }
+
+  void observe(double value) { observe(value, Clock::now()); }
+  void observe(double value, Clock::time_point now);
+
+  WindowStats stats() const { return stats(Clock::now()); }
+  WindowStats stats(Clock::time_point now) const;
+
+ private:
+  struct Slice {
+    std::int64_t index = -1;  ///< absolute slice number, -1 = never used
+    Histogram hist;
+  };
+
+  std::int64_t slice_of(Clock::time_point now) const;
+
+  double slice_seconds_ = 1.0;
+  int num_slices_ = 10;
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Slice> slices_;
 };
 
 /// One named metric.  The kind is fixed at first use; re-using a name

@@ -1,0 +1,72 @@
+#include "util/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace capsp {
+namespace {
+
+bool valid_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool valid_rest(char c) { return valid_start(c) || (c >= '0' && c <= '9'); }
+
+/// Prometheus floats: plain decimal with round-trip precision; the format
+/// spells non-finite values +Inf/-Inf/NaN (unlike JSON, which has none).
+std::string prom_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_histogram(std::ostream& out, const std::string& name,
+                     const Histogram& h) {
+  out << "# TYPE " << name << " histogram\n";
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.buckets[static_cast<std::size_t>(b)] == 0) continue;
+    cumulative += h.buckets[static_cast<std::size_t>(b)];
+    out << name << "_bucket{le=\"" << prom_double(std::ldexp(1.0, b))
+        << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+  out << name << "_sum " << prom_double(h.sum) << "\n";
+  out << name << "_count " << h.count << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) out += valid_rest(c) ? c : '_';
+  if (out.empty() || !valid_start(out.front())) out.insert(out.begin(), '_');
+  return out;
+}
+
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot,
+                           std::string_view prefix) {
+  for (const auto& [raw_name, metric] : snapshot) {
+    const std::string name =
+        std::string(prefix) + prometheus_name(raw_name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << metric.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << prom_double(metric.gauge) << "\n";
+        break;
+      case MetricKind::kHistogram:
+        write_histogram(out, name, metric.histogram);
+        break;
+    }
+  }
+}
+
+}  // namespace capsp

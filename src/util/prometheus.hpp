@@ -1,0 +1,36 @@
+// Prometheus text-exposition rendering for MetricsRegistry snapshots
+// (docs/telemetry.md).
+//
+// The serving stack's /metrics endpoint (serve/telemetry) renders the
+// whole `serve.*` registry — counters, gauges, and the log₂ histograms —
+// in the Prometheus text format (version 0.0.4), so any standard scraper
+// can watch a live DistanceService.  Only the subset of the format we
+// emit is implemented: no labels except the histogram `le`, no HELP
+// lines, LF line endings.  scripts/trace_summary.py prom is the matching
+// self-check used by CI on real scrapes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/metrics.hpp"
+
+namespace capsp {
+
+/// Sanitize a registry metric name ("serve.request.latency_us") into a
+/// valid Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.  Dots and any
+/// other invalid characters become '_'; a leading digit gets a '_'
+/// prefix; an empty name becomes "_".
+std::string prometheus_name(std::string_view name);
+
+/// Render a whole snapshot as Prometheus text exposition.  Counters and
+/// gauges become single samples with a `# TYPE` line; histograms become
+/// the conventional `_bucket{le="..."}` cumulative series (one bucket
+/// per non-empty log₂ bucket, upper bound 2^b, plus `+Inf`) with `_sum`
+/// and `_count`.  `prefix` is prepended (already-sanitized, e.g.
+/// "capsp_") to every metric name.
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot,
+                           std::string_view prefix = "");
+
+}  // namespace capsp

@@ -1,13 +1,23 @@
 // Tests for the serving layer (serve/service + serve/cache): bit-exact
 // answers vs the distance matrix, cache eviction under a tight budget,
 // structured overload/deadline/shutdown errors, k-nearest vs brute
-// force, and a concurrent mixed-query soak for the sanitizer matrix.
+// force, per-shard cache counters in the serve.* registry, request
+// tracing through the service, and concurrent soaks — one plain, one
+// with tracing on and a live telemetry scraper — for the sanitizer
+// matrix.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -15,6 +25,7 @@
 #include "baseline/reference.hpp"
 #include "core/path_oracle.hpp"
 #include "graph/generators.hpp"
+#include "serve/reqtrace.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "util/check.hpp"
@@ -50,6 +61,35 @@ Fixture make_fixture(Vertex side, std::int64_t tile_dim,
     f.reader = std::make_shared<SnapshotReader>(f.matrix, tile_dim);
   }
   return f;
+}
+
+/// One blocking HTTP/1.1 GET against 127.0.0.1:`port`; returns the raw
+/// response (status line, headers, body) or "" on any socket failure.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0)
+    response.append(buffer, static_cast<std::size_t>(got));
+  ::close(fd);
+  return response;
 }
 
 TEST(DistanceService, BitExactWithEvictingCache) {
@@ -226,9 +266,10 @@ TEST(DistanceServiceSoak, ConcurrentMixedQueries) {
             const PathReply reply = service.shortest_path(u, v);
             ASSERT_EQ(reply.error, ServeError::kOk);
             ASSERT_EQ(reply.distance, f.matrix.at(u, v));
-            if (!reply.path.empty())
+            if (!reply.path.empty()) {
               ASSERT_NEAR(oracle.path_weight(reply.path),
                           f.matrix.at(u, v), 1e-9);
+            }
             break;
           }
           default: {
@@ -246,6 +287,104 @@ TEST(DistanceServiceSoak, ConcurrentMixedQueries) {
   EXPECT_GT(stats.evictions, 0);
   EXPECT_EQ(service.metrics_snapshot().at("serve.request.ok").counter,
             kClients * kPerClient);
+}
+
+// Sanitizer target for the observability paths: clients hammer a traced
+// service (sampling + slow log + sub-second windows, so slices rotate
+// mid-run) while a scraper thread reads /metrics, /healthz, and
+// /stats.json off the live telemetry endpoint.  Exercises every
+// new lock order: trace routing, window rotation, SLO recording, and
+// handler reads racing request recording.
+TEST(DistanceServiceSoak, TelemetryScrapeWhileTracedClientsRun) {
+  const Fixture f = make_fixture(9, 4);
+  ServeOptions options;
+  options.threads = 4;
+  options.cache_bytes = 4096;
+  options.trace_sample_every = 5;
+  options.slow_trace_ms = 1e-6;  // everything is "slow": max ring churn
+  options.window_seconds = 0.2;  // force rotation many times per soak
+  options.window_slices = 4;
+  options.slo.latency_ms = 100;
+  options.slo.window_seconds = 0.2;
+  options.slo.window_slices = 4;
+  DistanceService service(f.reader, f.graph, options);
+  const int port = service.start_telemetry(0);
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(service.telemetry_port(), port);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 250;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 99);
+      const auto n = static_cast<std::uint64_t>(f.graph.num_vertices());
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto u = static_cast<Vertex>(rng.uniform(n));
+        const auto v = static_cast<Vertex>(rng.uniform(n));
+        if (i % 2 == 0) {
+          const DistanceReply reply = service.distance(u, v);
+          EXPECT_EQ(reply.error, ServeError::kOk);
+          EXPECT_EQ(reply.distance, f.matrix.at(u, v));
+        } else {
+          const PathReply reply = service.shortest_path(u, v);
+          EXPECT_EQ(reply.error, ServeError::kOk);
+          EXPECT_EQ(reply.distance, f.matrix.at(u, v));
+        }
+      }
+    });
+  }
+  std::thread scraper([&] {
+    for (int i = 0; i < 40; ++i) {
+      const std::string health = http_get(port, "/healthz");
+      EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+      EXPECT_NE(health.find("ok"), std::string::npos);
+      const std::string metrics = http_get(port, "/metrics");
+      EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+      const std::string stats = http_get(port, "/stats.json");
+      EXPECT_NE(stats.find("HTTP/1.1 200"), std::string::npos);
+    }
+    EXPECT_NE(http_get(port, "/no-such-path").find("HTTP/1.1 404"),
+              std::string::npos);
+  });
+  for (std::thread& t : clients) t.join();
+  scraper.join();
+
+  // A final scrape after the load: the exposition must carry the serve
+  // metrics (aggregate and per-shard) and the JSON its new sections.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("# TYPE capsp_serve_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("capsp_serve_request_latency_us_count"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("capsp_serve_cache_shard0_hit"), std::string::npos);
+  const std::string stats_json = http_get(port, "/stats.json");
+  EXPECT_NE(stats_json.find("\"windows\""), std::string::npos);
+  EXPECT_NE(stats_json.find("\"slo\""), std::string::npos);
+
+  service.stop();  // also joins the telemetry thread
+  constexpr std::int64_t kTotal = kClients * kPerClient;
+  EXPECT_EQ(service.metrics_snapshot().at("serve.request.ok").counter, kTotal);
+  const RequestTraceLog::Stats trace_stats = service.trace_log().stats();
+  EXPECT_EQ(trace_stats.started, kTotal);  // slow log armed: all traced
+  EXPECT_EQ(trace_stats.slow, kTotal);
+  const SloTracker::Snapshot slo = service.slo_snapshot();
+  EXPECT_EQ(slo.availability.total, kTotal);
+  EXPECT_EQ(slo.availability.good, kTotal);
+  // The per-shard counters stay consistent under concurrency too.
+  const TileCache::Stats total = service.cache_stats();
+  TileCache::Stats sum;
+  for (const TileCache::Stats& s : service.cache_shard_stats()) {
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+    sum.evictions += s.evictions;
+  }
+  EXPECT_EQ(sum.hits, total.hits);
+  EXPECT_EQ(sum.misses, total.misses);
+  EXPECT_EQ(sum.evictions, total.evictions);
+  // Stopped service: the endpoint is down, a fresh GET cannot connect.
+  EXPECT_EQ(http_get(port, "/healthz"), "");
 }
 
 TEST(TileCache, LruEvictsColdTilesFirst) {
@@ -269,6 +408,162 @@ TEST(TileCache, LruEvictsColdTilesFirst) {
   EXPECT_EQ(cache.get(1), nullptr);
   EXPECT_NE(cache.get(3), nullptr);
   EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(TileCache, PerShardCountersMatchAggregateAndRegistry) {
+  MetricsRegistry registry;
+  TileCacheOptions options;
+  options.shards = 4;
+  // Room for roughly one 2x2 tile per shard: inserts beyond that evict.
+  options.byte_budget =
+      4 * (TileCache::kEntryOverheadBytes +
+           4 * static_cast<std::int64_t>(sizeof(Dist)));
+  TileCache cache(options, registry);
+  for (std::int64_t id = 0; id < 12; ++id) {
+    cache.put(id, DistBlock(2, 2));
+    cache.get(id);      // hit: just inserted, still resident
+    cache.get(id + 1);  // miss: not inserted yet (or evicted)
+  }
+  const TileCache::Stats total = cache.stats();
+  const std::vector<TileCache::Stats> shards = cache.shard_stats();
+  ASSERT_EQ(shards.size(), 4u);
+  ASSERT_EQ(cache.num_shards(), 4);
+  TileCache::Stats sum;
+  for (const TileCache::Stats& s : shards) {
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+    sum.evictions += s.evictions;
+    sum.bytes += s.bytes;
+    sum.entries += s.entries;
+  }
+  EXPECT_EQ(sum.hits, total.hits);
+  EXPECT_EQ(sum.misses, total.misses);
+  EXPECT_EQ(sum.evictions, total.evictions);
+  EXPECT_EQ(sum.bytes, total.bytes);
+  EXPECT_EQ(sum.entries, total.entries);
+  EXPECT_GT(total.hits, 0);
+  EXPECT_GT(total.misses, 0);
+  EXPECT_GT(total.evictions, 0);
+
+  // The same numbers must land in the registry: aggregate counters, one
+  // serve.cache.shard<j>.* set per shard, and the occupancy gauges.
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.at("serve.cache.hit").counter, total.hits);
+  EXPECT_EQ(snapshot.at("serve.cache.miss").counter, total.misses);
+  EXPECT_EQ(snapshot.at("serve.cache.eviction").counter, total.evictions);
+  EXPECT_EQ(snapshot.at("serve.cache.bytes").gauge,
+            static_cast<double>(total.bytes));
+  EXPECT_EQ(snapshot.at("serve.cache.entries").gauge,
+            static_cast<double>(total.entries));
+  for (std::size_t j = 0; j < shards.size(); ++j) {
+    const std::string base = "serve.cache.shard" + std::to_string(j);
+    // A counter only exists once incremented, so gate on the shard count.
+    if (shards[j].hits > 0) {
+      EXPECT_EQ(snapshot.at(base + ".hit").counter, shards[j].hits) << base;
+    }
+    if (shards[j].misses > 0) {
+      EXPECT_EQ(snapshot.at(base + ".miss").counter, shards[j].misses) << base;
+    }
+    if (shards[j].evictions > 0) {
+      EXPECT_EQ(snapshot.at(base + ".eviction").counter, shards[j].evictions)
+          << base;
+    }
+  }
+}
+
+TEST(DistanceService, SampledTracesCarryTheFullSpanTree) {
+  const Fixture f = make_fixture(6, 4);
+  ServeOptions options;
+  options.threads = 2;
+  options.cache_bytes = 2048;  // tight: traces should see real misses
+  options.trace_sample_every = 1;  // every request sampled
+  DistanceService service(f.reader, f.graph, options);
+  constexpr int kRequests = 24;
+  for (Vertex v = 0; v < kRequests; ++v) service.distance(0, v);
+  service.shortest_path(0, 35);
+  service.stop();  // joins workers: every finished trace is now routed
+
+  const RequestTraceLog::Stats stats = service.trace_log().stats();
+  EXPECT_EQ(stats.started, kRequests + 1);
+  EXPECT_EQ(stats.sampled_kept, kRequests + 1);
+  EXPECT_EQ(stats.dropped, 0);
+  const auto kept = service.trace_log().kept();
+  ASSERT_EQ(kept.size(), static_cast<std::size_t>(kRequests) + 1);
+  bool saw_tile_span = false, saw_hop_span = false;
+  for (const auto& trace : kept) {
+    EXPECT_STREQ(trace->outcome(), "ok");
+    EXPECT_GT(trace->total_us(), 0);
+    ASSERT_GE(trace->spans().size(), 2u);
+    // The lifecycle skeleton: span 0 is queue_wait, span 1 is execute,
+    // and every span is closed within the request.
+    EXPECT_STREQ(trace->spans()[0].name, "queue_wait");
+    EXPECT_STREQ(trace->spans()[1].name, "execute");
+    double child_sum = 0;
+    for (const TraceSpan& span : trace->spans()) {
+      EXPECT_GE(span.end_us, span.start_us);
+      EXPECT_LE(span.end_us, trace->total_us() + 1.0);
+      if (span.parent == -1) child_sum += span.end_us - span.start_us;
+      const std::string name = span.name;
+      if (name == "tile.cache_hit" || name == "tile.cache_miss")
+        saw_tile_span = true;
+      if (name == "path.hop") saw_hop_span = true;
+    }
+    // Top-level spans (queue_wait + execute) tile the request end to end.
+    EXPECT_NEAR(child_sum, trace->total_us(), 2.0) << "trace " << trace->id();
+  }
+  EXPECT_TRUE(saw_tile_span);
+  EXPECT_TRUE(saw_hop_span);
+
+  std::ostringstream chrome;
+  service.trace_log().write_chrome_json(chrome);
+  const std::string doc = chrome.str();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(doc.find("\"reqtrace\""), std::string::npos);
+}
+
+TEST(DistanceService, SlowLogKeepsTracesSamplingWouldDrop) {
+  const Fixture f = make_fixture(5, 4, /*file_backed=*/false);
+  ServeOptions options;
+  options.threads = 1;
+  options.trace_sample_every = 0;   // sampling off...
+  options.slow_trace_ms = 1e-6;     // ...but everything counts as slow
+  options.slow_trace_keep = 8;
+  DistanceService service(f.reader, f.graph, options);
+  constexpr int kRequests = 20;
+  for (Vertex v = 0; v < kRequests; ++v) service.distance(v, 0);
+  service.stop();
+  const RequestTraceLog::Stats stats = service.trace_log().stats();
+  EXPECT_EQ(stats.started, kRequests);  // slow log arms tracing for all
+  EXPECT_EQ(stats.slow, kRequests);
+  EXPECT_EQ(stats.sampled_kept, 0);
+  // The ring is bounded: only the newest slow_trace_keep survive.
+  EXPECT_EQ(service.trace_log().kept().size(), 8u);
+  EXPECT_EQ(service.metrics_snapshot().at("serve.trace.slow").counter,
+            kRequests);
+}
+
+TEST(DistanceService, SummaryJsonCarriesWindowsSloAndTraceSections) {
+  const Fixture f = make_fixture(5, 4, /*file_backed=*/false);
+  ServeOptions options;
+  options.trace_sample_every = 4;
+  options.slo.latency_ms = 50;
+  DistanceService service(f.reader, f.graph, options);
+  for (Vertex v = 0; v < 25; ++v) service.distance(0, v);
+  service.stop();
+  std::ostringstream out;
+  service.write_summary_json(out);
+  const std::string json = out.str();
+  for (const char* key :
+       {"\"windows\"", "\"slo\"", "\"reqtrace\"", "\"shards\"",
+        "\"availability\"", "\"burn_rate\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  const SloTracker::Snapshot slo = service.slo_snapshot();
+  EXPECT_EQ(slo.availability.total, 25);
+  EXPECT_EQ(slo.availability.good, 25);
+  EXPECT_EQ(slo.availability.compliance, 1.0);
+  EXPECT_TRUE(slo.latency.enabled);
+  EXPECT_EQ(service.latency_window().count, 25);
 }
 
 TEST(TileCache, SharedTileSurvivesEviction) {

@@ -18,7 +18,16 @@
 //       structured overload/deadline errors instead of queueing forever
 //   serve_tool --mode serve ... --duration-s 10
 //       soak: clients replay the workload cyclically for a wall-clock
-//       budget (no BENCH record — counts depend on timing)
+//       budget; SIGINT/SIGTERM drains cleanly and still emits the
+//       summary.  Counts depend on timing, so the soak BENCH record
+//       (serve_soak_*) carries only config fields plus wall-clock-named
+//       fields the bench_diff gate skips.
+//   serve_tool --mode serve ... --telemetry-port 0 --trace-sample 64 \
+//              --slow-ms 5 --reqtrace traces.json --slo-latency-ms 2
+//       live observability (docs/telemetry.md): /metrics + /healthz +
+//       /stats.json on an ephemeral port, 1-in-64 request-trace
+//       sampling plus a slow log, Perfetto-loadable span trees, and
+//       latency/availability SLO tracking in the summary
 //
 // Closed-loop runs mirror their (deterministic) outcome into the PR-3
 // BenchJson registry: set CAPSP_BENCH_JSON_DIR and the run writes
@@ -27,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -38,6 +48,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "semiring/block_io.hpp"
+#include "serve/reqtrace.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "util/cli.hpp"
@@ -47,6 +58,12 @@
 namespace {
 
 using namespace capsp;
+
+/// Set by SIGINT/SIGTERM so a soak drains its clients and still emits
+/// the summary/BENCH record instead of dying mid-flight.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_interrupt(int) { g_interrupted = 1; }
 
 void print_help() {
   std::cout <<
@@ -87,6 +104,19 @@ void print_help() {
       "  --report-json <path>     service summary JSON\n"
       "  --bench-name <name>      BENCH_<name>.json record name\n"
       "                           (default serve_<mix>_<queries>)\n"
+      "\n"
+      "observability (docs/telemetry.md):\n"
+      "  --telemetry-port <p>     serve /metrics /healthz /stats.json on\n"
+      "                           127.0.0.1:<p> (0 = ephemeral; default\n"
+      "                           off)\n"
+      "  --trace-sample <N>       trace every Nth request (0 = off)\n"
+      "  --slow-ms <ms>           slow-request log threshold (0 = off)\n"
+      "  --reqtrace <path>        write kept request traces as Chrome\n"
+      "                           trace JSON (Perfetto-loadable)\n"
+      "  --window-s <sec>         rolling telemetry window (default 10)\n"
+      "  --slo-latency-ms <ms>    latency SLO threshold (0 = off)\n"
+      "  --slo-target <f>         latency SLO target (default 0.99)\n"
+      "  --slo-availability <f>   availability SLO target (default 0.999)\n"
       "\n"
       "exit codes:\n"
       "  0  success\n"
@@ -260,7 +290,23 @@ int mode_serve(const Cli& cli, Rng& rng) {
   options.cache_bytes = cli.get_int("cache-bytes", 16 << 20);
   options.max_queue =
       static_cast<std::size_t>(cli.get_int("max-queue", 4096));
+  options.trace_sample_every = cli.get_int("trace-sample", 0);
+  options.slow_trace_ms = cli.get_double("slow-ms", 0);
+  options.window_seconds = cli.get_double("window-s", 10);
+  options.slo.latency_ms = cli.get_double("slo-latency-ms", 0);
+  options.slo.latency_target = cli.get_double("slo-target", 0.99);
+  options.slo.availability_target =
+      cli.get_double("slo-availability", 0.999);
+  options.slo.window_seconds = options.window_seconds;
   DistanceService service(reader, graph, options);
+
+  const std::int64_t telemetry_port = cli.get_int("telemetry-port", -1);
+  if (telemetry_port >= 0) {
+    const int bound =
+        service.start_telemetry(static_cast<int>(telemetry_port));
+    std::cout << "telemetry: http://127.0.0.1:" << bound
+              << " (/metrics /healthz /stats.json)\n";
+  }
 
   const std::string mix = cli.get_string("mix", "zipf");
   const std::string kind = cli.get_string("queries", "distance");
@@ -321,7 +367,10 @@ int mode_serve(const Cli& cli, Rng& rng) {
     }
   } else if (duration_s > 0) {
     // Soak: replay the workload cyclically until the wall-clock budget is
-    // spent (counts depend on timing, so no BENCH record is emitted).
+    // spent or an operator interrupt arrives; either way the clients
+    // drain and the summary below still runs.
+    std::signal(SIGINT, handle_interrupt);
+    std::signal(SIGTERM, handle_interrupt);
     const auto stop_at =
         start + std::chrono::duration_cast<
                     std::chrono::steady_clock::duration>(
@@ -331,7 +380,8 @@ int mode_serve(const Cli& cli, Rng& rng) {
     for (int c = 0; c < clients; ++c) {
       pool.emplace_back([&, c] {
         Rng pick(static_cast<std::uint64_t>(c) * 7919 + 13);
-        while (std::chrono::steady_clock::now() < stop_at) {
+        while (std::chrono::steady_clock::now() < stop_at &&
+               g_interrupted == 0) {
           const Query& query = queries[pick.uniform(queries.size())];
           issue(service, query, kind, k, deadline_seconds);
           soak_issued.fetch_add(1, std::memory_order_relaxed);
@@ -339,6 +389,10 @@ int mode_serve(const Cli& cli, Rng& rng) {
       });
     }
     for (std::thread& t : pool) t.join();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    if (g_interrupted != 0)
+      std::cout << "soak interrupted; drained clients, emitting summary\n";
   } else {
     // Closed loop: each client issues its stride of the workload
     // back-to-back; slot-per-query results keep aggregation
@@ -358,6 +412,12 @@ int mode_serve(const Cli& cli, Rng& rng) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Capture the rolling windows before the drain quiesces them, then
+  // stop: after stop() every in-flight trace is routed and the telemetry
+  // endpoint has served its last scrape, so the reports below are final.
+  const WindowStats latency_window = service.latency_window();
+  const WindowStats error_window = service.error_window();
+  service.stop();
 
   // Aggregate in index order (see Outcome).
   std::int64_t ok = 0, overloaded = 0, expired = 0, unreachable = 0;
@@ -427,6 +487,39 @@ int mode_serve(const Cli& cli, Rng& rng) {
                             : 0)
             << "% hit rate), " << cache.evictions << " evictions, "
             << cache.bytes << " bytes resident\n";
+  std::cout << "window (" << options.window_seconds << "s): "
+            << latency_window.count << " requests at "
+            << latency_window.rate_per_second << "/s, p50 "
+            << latency_window.p50 << " us, p95 " << latency_window.p95
+            << " us, p99 " << latency_window.p99 << " us, "
+            << error_window.count << " errors\n";
+
+  const SloTracker::Snapshot slo = service.slo_snapshot();
+  std::cout << "slo availability: " << 100.0 * slo.availability.compliance
+            << "% of " << slo.availability.total << " (target "
+            << 100.0 * slo.availability.target << "%), burn rate "
+            << slo.availability.burn_rate << ", budget remaining "
+            << 100.0 * slo.availability.budget_remaining << "%\n";
+  if (slo.latency.enabled)
+    std::cout << "slo latency (<= " << options.slo.latency_ms << " ms): "
+              << 100.0 * slo.latency.compliance << "% of "
+              << slo.latency.total << " (target "
+              << 100.0 * slo.latency.target << "%), burn rate "
+              << slo.latency.burn_rate << ", budget remaining "
+              << 100.0 * slo.latency.budget_remaining << "%\n";
+
+  const RequestTraceLog::Stats traces = service.trace_log().stats();
+  if (service.trace_log().enabled())
+    std::cout << "reqtrace: " << traces.started << " traced, "
+              << traces.slow << " slow, " << traces.sampled_kept
+              << " sampled kept, " << traces.dropped << " dropped\n";
+  const std::string reqtrace_path = cli.get_string("reqtrace", "");
+  if (!reqtrace_path.empty()) {
+    std::ofstream out(reqtrace_path);
+    CAPSP_CHECK_MSG(out, "cannot write --reqtrace file " << reqtrace_path);
+    service.trace_log().write_chrome_json(out);
+    std::cout << "wrote request traces to " << reqtrace_path << "\n";
+  }
 
   const std::string report_path = cli.get_string("report-json", "");
   if (!report_path.empty()) {
@@ -436,9 +529,11 @@ int mode_serve(const Cli& cli, Rng& rng) {
     std::cout << "wrote serve summary to " << report_path << "\n";
   }
 
-  // Only the fully deterministic closed-loop counts become a BENCH
+  // Only the fully deterministic closed-loop counts become a gated BENCH
   // record; hit/miss splits and timings depend on thread interleaving and
-  // stay out of the regression gate.
+  // stay out of the regression gate (qps_wall/elapsed_seconds are
+  // time-like names, which bench_diff skips unless asked to
+  // --compare-time — how CI bounds the cost of tracing).
   if (!open_loop && duration_s == 0) {
     const std::string bench_name = cli.get_string(
         "bench-name", "serve_" + mix + "_" + kind);
@@ -456,7 +551,29 @@ int mode_serve(const Cli& cli, Rng& rng) {
          {"unreachable", unreachable},
          {"tile_lookups", lookups},
          {"distance_sum", distance_sum},
-         {"path_hops", path_hops}});
+         {"path_hops", path_hops},
+         {"elapsed_seconds", elapsed},
+         {"qps_wall", elapsed > 0 ? static_cast<double>(issued) / elapsed
+                                  : 0.0}});
+  } else if (duration_s > 0) {
+    // Soak record: config fields are deterministic; every count that
+    // depends on wall time carries a time-like name so the default gate
+    // skips it.
+    const std::string bench_name = cli.get_string(
+        "bench-name", "serve_soak_" + mix + "_" + kind);
+    bench::BenchJson::get(bench_name).add(
+        {{"mix", mix},
+         {"queries", kind},
+         {"n", static_cast<std::int64_t>(graph.num_vertices())},
+         {"tile", reader->header().tile_dim},
+         {"cache_bytes", options.cache_bytes},
+         {"threads", static_cast<std::int64_t>(options.threads)},
+         {"clients", static_cast<std::int64_t>(clients)},
+         {"interrupted", g_interrupted != 0},
+         {"elapsed_seconds", elapsed},
+         {"requests_wall", issued},
+         {"qps_wall", elapsed > 0 ? static_cast<double>(issued) / elapsed
+                                  : 0.0}});
   }
   return 0;
 }
