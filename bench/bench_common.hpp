@@ -24,6 +24,7 @@
 #include "graph/generators.hpp"
 #include "machine/cost_model.hpp"
 #include "util/bits.hpp"
+#include "util/buildinfo.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -108,6 +109,10 @@ class BenchJson {
     JsonWriter json(out);
     json.begin_object();
     json.field("bench", name_);
+    // Document-level provenance (never inside records: bench_diff treats
+    // string record fields as identity, so a sha there would fail the
+    // gate on every commit; it only reads "records").
+    write_build_info_fields(json);
     json.key("records");
     json.begin_array();
     for (const auto& record : records_) {

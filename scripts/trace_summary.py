@@ -7,6 +7,7 @@ Usage:
     python3 scripts/trace_summary.py serve serve.json
     python3 scripts/trace_summary.py reqtrace reqtrace.json [--top K]
     python3 scripts/trace_summary.py prom scrape.txt
+    python3 scripts/trace_summary.py prof profile.json|stacks.folded [--top K]
 
 Reads the trace JSON written by `apsp_tool --trace=<file>` (or
 write_chrome_trace), pulls the critical-path decomposition the exporter
@@ -389,10 +390,136 @@ def check_prometheus(argv):
     return 1 if errors else 0
 
 
+def summarize_prof(argv):
+    """The `prof` subcommand: render a profiling artifact
+    (docs/profiling.md) — either a ProfReport JSON (apsp_tool/serve_tool
+    --profile-json, or /profile?format=json) or a folded-stack file
+    (--profile-folded / the default /profile output).  Prints the hot
+    scopes, the per-kernel roofline against the machine peak, and the
+    counter availability matrix.  Validates the folded-stack format and
+    the sample accounting, so CI can gate on real profiler output."""
+    parser = argparse.ArgumentParser(
+        prog="trace_summary.py prof",
+        description="Summarize a profiler report or folded-stack file.")
+    parser.add_argument("profile",
+                        help="ProfReport JSON or folded-stack text")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of hot scopes to print (default 10)")
+    args = parser.parse_args(argv)
+
+    with open(args.profile) as f:
+        text = f.read()
+
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if doc is None:
+        return summarize_folded(args.profile, text, args.top)
+
+    profile = doc.get("profile")
+    if profile is None:
+        print(f"error: {args.profile} has no 'profile' key — not a "
+              "profiler report", file=sys.stderr)
+        return 1
+
+    print(f"profile: {profile['samples']:,} samples @ {profile['hz']:g} Hz "
+          f"over {profile['duration_seconds']:.3f}s "
+          f"({profile['idle_ticks']:,} idle ticks, "
+          f"{profile['dropped']:,} dropped)")
+    if profile["dropped"]:
+        print("error: sampler dropped stacks (ring too small?)",
+              file=sys.stderr)
+        return 1
+
+    scopes = profile.get("scopes", {})
+    if scopes:
+        ranked = sorted(scopes.items(),
+                        key=lambda kv: -kv[1]["total_samples"])
+        print(f"\ntop {min(args.top, len(ranked))} scopes by samples:")
+        print(f"  {'scope':<28} {'total':>8} {'self':>8}")
+        for name, counts in ranked[:args.top]:
+            print(f"  {name:<28} {counts['total_samples']:>8,} "
+                  f"{counts['self_samples']:>8,}")
+
+    peak = profile.get("machine_peak", {})
+    kernels = profile.get("kernels", {})
+    if kernels:
+        ops_peak = peak.get("minplus_ops_per_second", 0)
+        bytes_peak = peak.get("stream_bytes_per_second", 0)
+        print(f"\nkernel roofline (peak {ops_peak:.3g} ops/s, "
+              f"{bytes_peak:.3g} bytes/s):")
+        print(f"  {'kernel':<28} {'calls':>8} {'ops/s':>10} {'%peak':>7} "
+              f"{'bytes/s':>10} {'ops/cycle':>10}")
+        for name, k in sorted(kernels.items(),
+                              key=lambda kv: -kv[1]["seconds"]):
+            share = (100.0 * k["ops_per_second"] / ops_peak
+                     if ops_peak and k["ops"] else 0.0)
+            print(f"  {name:<28} {k['calls']:>8,} "
+                  f"{k['ops_per_second']:>10.3g} {share:>6.1f}% "
+                  f"{k['bytes_per_second']:>10.3g} "
+                  f"{k['ops_per_cycle']:>10.3g}")
+
+    perf = profile.get("perf", {})
+    if perf.get("attempted"):
+        counters = perf.get("counters", {})
+        available = {n: c for n, c in counters.items() if c["available"]}
+        if available:
+            ghz = perf.get("effective_ghz", 0)
+            line = ", ".join(f"{n}={c['value']:,}"
+                             for n, c in sorted(available.items()))
+            print(f"\nperf counters ({perf['threads_covered']} threads"
+                  + (f", {ghz:.2f} GHz effective" if ghz else "")
+                  + f"): {line}")
+        missing = sorted(n for n, c in counters.items()
+                         if not c["available"])
+        if missing:
+            print("perf counters unavailable: " + ", ".join(missing))
+
+    folded = profile.get("folded", [])
+    folded_sum = sum(entry["count"] for entry in folded)
+    if not profile.get("folded_truncated") and             folded_sum != profile["samples"]:
+        print(f"error: folded counts sum to {folded_sum} != "
+              f"{profile['samples']} samples", file=sys.stderr)
+        return 1
+    return 0
+
+
+def summarize_folded(path, text, top):
+    """Validate + summarize a folded-stack file: `frame[;frame...] count`
+    per line, counts sorted descending (the flamegraph input format)."""
+    stacks = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        head, _, count = line.rpartition(" ")
+        if not head or not count.isdigit():
+            print(f"error: {path} line {number}: not 'stack count': "
+                  f"{line}", file=sys.stderr)
+            return 1
+        stacks.append((head, int(count)))
+    if not stacks:
+        print(f"error: {path}: no folded stacks (did the profiled run "
+              "do any scoped work?)", file=sys.stderr)
+        return 1
+    counts = [c for _, c in stacks]
+    if counts != sorted(counts, reverse=True):
+        print(f"error: {path}: stacks are not sorted by count",
+              file=sys.stderr)
+        return 1
+    total = sum(counts)
+    print(f"folded stacks: {len(stacks)} unique, {total:,} samples "
+          f"(flamegraph-ready; see docs/profiling.md)")
+    print(f"\ntop {min(top, len(stacks))} stacks:")
+    for stack, count in stacks[:top]:
+        print(f"  {100.0 * count / total:>5.1f}%  {stack}")
+    return 0
+
+
 def main():
     # Subcommand dispatch keeps the original positional-trace CLI intact:
-    # only a literal first argument of "metrics", "serve", "reqtrace", or
-    # "prom" selects the new modes.
+    # only a literal first argument of "metrics", "serve", "reqtrace",
+    # "prom", or "prof" selects the new modes.
     if len(sys.argv) > 1 and sys.argv[1] == "metrics":
         return summarize_metrics(sys.argv[2:])
     if len(sys.argv) > 1 and sys.argv[1] == "serve":
@@ -401,6 +528,8 @@ def main():
         return summarize_reqtrace(sys.argv[2:])
     if len(sys.argv) > 1 and sys.argv[1] == "prom":
         return check_prometheus(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "prof":
+        return summarize_prof(sys.argv[2:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace JSON from apsp_tool --trace")
     parser.add_argument("--top", type=int, default=10,

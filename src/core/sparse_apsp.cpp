@@ -9,6 +9,7 @@
 #include "core/regions.hpp"
 #include "machine/collectives.hpp"
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 #include "semiring/graph_matrix.hpp"
 #include "semiring/kernels.hpp"
 #include "semiring/semirings.hpp"
@@ -329,20 +330,25 @@ void sparse_apsp_rank(Comm& comm, const ApspLayout& layout, DistBlock& local,
   // ⊗ operations it performed are stamped on the timeline as a compute
   // record (zero cost — the model meters communication only).
   const auto region = [&](const std::string& phase, const char* label,
-                          auto&& update) {
+                          const char* scope, auto&& update) {
     comm.set_phase(phase);
+    ProfScope prof(scope);
     const std::int64_t ops_before = ctx.ops;
     update();
+    prof.add_ops(ctx.ops - ops_before);
     comm.record_compute(ctx.ops - ops_before, label);
     metrics().counter_add(std::string("core.sparse.ops_") + label,
                           ctx.ops - ops_before);
   };
   for (int l = 1; l <= tree.height(); ++l) {
     const std::string prefix = "L" + std::to_string(l) + "/";
-    region(prefix + "R1", "R1", [&] { update_r1(comm, ctx, local, l); });
-    region(prefix + "R2", "R2", [&] { update_r2(comm, ctx, local, l); });
-    region(prefix + "R3", "R3", [&] { update_r3(comm, ctx, local, l); });
-    region(prefix + "R4", "R4", [&] {
+    region(prefix + "R1", "R1", "core.sparse.r1",
+           [&] { update_r1(comm, ctx, local, l); });
+    region(prefix + "R2", "R2", "core.sparse.r2",
+           [&] { update_r2(comm, ctx, local, l); });
+    region(prefix + "R3", "R3", "core.sparse.r3",
+           [&] { update_r3(comm, ctx, local, l); });
+    region(prefix + "R4", "R4", "core.sparse.r4", [&] {
       if (strategy == R4Strategy::kSequential) {
         update_r4_sequential(comm, ctx, local, l);
       } else {

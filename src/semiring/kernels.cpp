@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 
 namespace capsp {
 
 std::int64_t classical_fw(DistBlock& a) {
   CAPSP_CHECK(a.rows() == a.cols());
+  ProfScope prof("semiring.classical_fw");
   const std::int64_t n = a.rows();
   std::int64_t ops = 0;
   for (std::int64_t k = 0; k < n; ++k) {
@@ -25,6 +27,8 @@ std::int64_t classical_fw(DistBlock& a) {
   }
   metrics().counter_add("semiring.kernels.fw_ops", ops);
   metrics().observe("semiring.kernels.block_dim", static_cast<double>(n));
+  prof.add_ops(ops);
+  prof.add_bytes(n * n * static_cast<std::int64_t>(sizeof(Dist)));
   return ops;
 }
 
@@ -33,6 +37,7 @@ std::int64_t minplus_accumulate(DistBlock& c, const DistBlock& a,
   CAPSP_CHECK_MSG(a.cols() == b.rows(),
                   "inner dims " << a.cols() << " vs " << b.rows());
   CAPSP_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  ProfScope prof("semiring.minplus");
   const std::int64_t m = a.rows(), kk = a.cols(), nn = b.cols();
   std::int64_t ops = 0;
   // An all-infinite operand contributes nothing: the product is empty and
@@ -60,6 +65,9 @@ std::int64_t minplus_accumulate(DistBlock& c, const DistBlock& a,
     }
   }
   metrics().counter_add("semiring.kernels.minplus_ops", ops);
+  prof.add_ops(ops);
+  prof.add_bytes((m * kk + kk * nn + m * nn) *
+                 static_cast<std::int64_t>(sizeof(Dist)));
   return ops;
 }
 
@@ -83,6 +91,7 @@ void store_tile(DistBlock& a, std::int64_t tile, std::int64_t bi,
 std::int64_t blocked_fw(DistBlock& a, std::int64_t tile) {
   CAPSP_CHECK(a.rows() == a.cols());
   CAPSP_CHECK(tile >= 1);
+  ProfScope prof("semiring.blocked_fw");
   const std::int64_t n = a.rows();
   const std::int64_t nb = (n + tile - 1) / tile;
   std::int64_t ops = 0;
@@ -123,10 +132,14 @@ std::int64_t blocked_fw(DistBlock& a, std::int64_t tile) {
 
 void elementwise_min(DistBlock& c, const DistBlock& other) {
   CAPSP_CHECK(c.rows() == other.rows() && c.cols() == other.cols());
+  ProfScope prof("semiring.elementwise_min");
   auto cd = c.data();
   auto od = other.data();
   for (std::size_t i = 0; i < cd.size(); ++i)
     cd[i] = tropical_min(cd[i], od[i]);
+  prof.add_ops(static_cast<std::int64_t>(cd.size()));
+  prof.add_bytes(static_cast<std::int64_t>(cd.size()) * 3 *
+                 static_cast<std::int64_t>(sizeof(Dist)));
 }
 
 }  // namespace capsp

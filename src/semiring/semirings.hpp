@@ -19,6 +19,7 @@
 
 #include "semiring/block.hpp"
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 
 namespace capsp {
 
@@ -67,6 +68,7 @@ struct BoolSemiring {
 template <typename S>
 std::int64_t semiring_fw(DistBlock& a) {
   CAPSP_CHECK(a.rows() == a.cols());
+  ProfScope prof("semiring.generic_fw");
   const std::int64_t n = a.rows();
   std::int64_t ops = 0;
   for (std::int64_t k = 0; k < n; ++k) {
@@ -84,6 +86,8 @@ std::int64_t semiring_fw(DistBlock& a) {
   }
   metrics().counter_add("semiring.kernels.fw_ops", ops);
   metrics().observe("semiring.kernels.block_dim", static_cast<double>(n));
+  prof.add_ops(ops);
+  prof.add_bytes(n * n * static_cast<std::int64_t>(sizeof(Dist)));
   return ops;
 }
 
@@ -103,6 +107,7 @@ std::int64_t semiring_accumulate(DistBlock& c, const DistBlock& a,
                                  const DistBlock& b) {
   CAPSP_CHECK(a.cols() == b.rows());
   CAPSP_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  ProfScope prof("semiring.generic_accumulate");
   const std::int64_t m = a.rows(), kk = a.cols(), nn = b.cols();
   std::int64_t ops = 0;
   if (m == 0 || nn == 0) return 0;
@@ -133,6 +138,9 @@ std::int64_t semiring_accumulate(DistBlock& c, const DistBlock& a,
     }
   }
   metrics().counter_add("semiring.kernels.minplus_ops", ops);
+  prof.add_ops(ops);
+  prof.add_bytes((m * kk + kk * nn + m * nn) *
+                 static_cast<std::int64_t>(sizeof(Dist)));
   return ops;
 }
 

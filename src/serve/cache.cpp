@@ -6,6 +6,7 @@
 
 #include "serve/reqtrace.hpp"
 #include "util/check.hpp"
+#include "util/prof.hpp"
 
 namespace capsp {
 
@@ -30,6 +31,7 @@ TileCache::TileCache(TileCacheOptions options, MetricsRegistry& registry)
 std::shared_ptr<const DistBlock> TileCache::get(std::int64_t tile_id,
                                                 RequestTrace* trace) {
   // Opened pessimistically as a miss; renamed once the lookup lands.
+  ProfScope prof("serve.cache.get");
   ScopedSpan span(trace, "tile.cache_miss");
   span.detail("tile", tile_id);
   Shard& shard = shard_for(tile_id);
@@ -53,6 +55,7 @@ std::shared_ptr<const DistBlock> TileCache::get(std::int64_t tile_id,
 
 std::shared_ptr<const DistBlock> TileCache::put(std::int64_t tile_id,
                                                 DistBlock tile) {
+  ProfScope prof("serve.cache.put");
   Entry entry;
   entry.id = tile_id;
   entry.bytes = tile.size() * static_cast<std::int64_t>(sizeof(Dist)) +

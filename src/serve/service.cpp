@@ -1,14 +1,21 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <queue>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/path_oracle.hpp"
 #include "serve/telemetry.hpp"
+#include "util/buildinfo.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "util/procstat.hpp"
+#include "util/prof.hpp"
 #include "util/prometheus.hpp"
 
 namespace capsp {
@@ -123,7 +130,19 @@ void DistanceService::worker_loop() {
     }
     const bool expired = Clock::now() > job.deadline;
     if (job.trace != nullptr) job.trace->mark_dequeued();
-    job.run(expired, job.trace.get());
+    {
+      // Scope names must be static literals, so map the job kind rather
+      // than concatenating.
+      const char* scope = "serve.execute";
+      if (std::strcmp(job.kind, "distance") == 0)
+        scope = "serve.execute.distance";
+      else if (std::strcmp(job.kind, "path") == 0)
+        scope = "serve.execute.path";
+      else if (std::strcmp(job.kind, "knear") == 0)
+        scope = "serve.execute.knear";
+      ProfScope prof(scope);
+      job.run(expired, job.trace.get());
+    }
     // Routing happens after the reply resolves, but stop() joins this
     // thread, so a drained service always has every trace routed.
     if (job.trace != nullptr) route_trace(std::move(job.trace));
@@ -194,11 +213,15 @@ void DistanceService::route_trace(std::shared_ptr<RequestTrace> trace) {
 std::shared_ptr<const DistBlock> DistanceService::fetch_tile(
     std::int64_t tile_id, RequestTrace* trace) {
   if (auto tile = cache_.get(tile_id, trace)) return tile;
+  // Cache miss: the fill path (snapshot read + insert) gets its own
+  // profiling scope, with bytes for the memory-roofline axis.
+  ProfScope prof("serve.tile_fill");
   DistBlock loaded = snapshot_->read_tile(tile_id, trace);
+  const std::int64_t bytes =
+      loaded.size() * static_cast<std::int64_t>(sizeof(Dist));
+  prof.add_bytes(bytes);
   registry_.counter_add("serve.io.tiles_loaded");
-  registry_.counter_add("serve.io.bytes_read",
-                        loaded.size() *
-                            static_cast<std::int64_t>(sizeof(Dist)));
+  registry_.counter_add("serve.io.bytes_read", bytes);
   return cache_.put(tile_id, std::move(loaded));
 }
 
@@ -510,21 +533,35 @@ void DistanceService::write_summary_fields(JsonWriter& json) const {
   json.field("sampled_kept", traces.sampled_kept);
   json.field("dropped", traces.dropped);
   json.end_object();
+
+  // Live profiler status: /profile returns the full report at the end of
+  // a window; /stats.json only says whether one is in flight.
+  const Profiler::Status prof_status = Profiler::global().status();
+  json.key("profiler");
+  json.begin_object();
+  json.field("running", prof_status.running);
+  json.field("hz", prof_status.hz);
+  json.field("samples", prof_status.samples);
+  json.end_object();
   json.end_object();
 
+  write_process_fields(json);
+  write_build_info_fields(json);
   write_metrics_fields(json, metrics);
 }
 
 int DistanceService::start_telemetry(int port) {
   CAPSP_CHECK_MSG(telemetry_ == nullptr, "telemetry already started");
   telemetry_ = std::make_unique<TelemetryServer>();
-  telemetry_->handle("/metrics", [this] {
+  telemetry_->handle("/metrics", [this](const std::string&) {
     std::ostringstream out;
-    write_prometheus_text(out, registry_.snapshot(), "capsp_");
+    MetricsSnapshot snapshot = registry_.snapshot();
+    append_process_metrics(snapshot);  // fresh RSS/CPU/fds per scrape
+    write_prometheus_text(out, snapshot, "capsp_");
     return TelemetryResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                              out.str()};
   });
-  telemetry_->handle("/healthz", [this] {
+  telemetry_->handle("/healthz", [this](const std::string&) {
     bool stopping = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -535,10 +572,44 @@ int DistanceService::start_telemetry(int port) {
                     : TelemetryResponse{200, "text/plain; charset=utf-8",
                                         "ok\n"};
   });
-  telemetry_->handle("/stats.json", [this] {
+  telemetry_->handle("/stats.json", [this](const std::string&) {
     std::ostringstream out;
     write_summary_json(out);
     return TelemetryResponse{200, "application/json", out.str()};
+  });
+  // On-demand profiling window: GET /profile?seconds=N[&hz=H][&format=json].
+  // The handler blocks the (serial) telemetry thread for the window —
+  // acceptable at telemetry traffic rates and documented in
+  // docs/profiling.md; concurrent attempts see 503.
+  telemetry_->handle("/profile", [](const std::string& query) {
+    char* end = nullptr;
+    const std::string seconds_str =
+        telemetry_query_param(query, "seconds", "2");
+    double seconds = std::strtod(seconds_str.c_str(), &end);
+    if (end == seconds_str.c_str() || !(seconds > 0))
+      return TelemetryResponse{400, "text/plain; charset=utf-8",
+                               "bad seconds parameter\n"};
+    seconds = std::min(seconds, 60.0);
+    const std::string hz_str = telemetry_query_param(query, "hz", "497");
+    double hz = std::strtod(hz_str.c_str(), &end);
+    if (end == hz_str.c_str() || !(hz > 0) || hz > 4000)
+      return TelemetryResponse{400, "text/plain; charset=utf-8",
+                               "bad hz parameter\n"};
+    const std::string format = telemetry_query_param(query, "format", "folded");
+    ProfOptions prof_options;
+    prof_options.hz = hz;
+    if (!Profiler::global().start(prof_options))
+      return TelemetryResponse{503, "text/plain; charset=utf-8",
+                               "profiler busy\n"};
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const ProfReport report = Profiler::global().stop();
+    std::ostringstream out;
+    if (format == "json") {
+      write_prof_report_json(out, report);
+      return TelemetryResponse{200, "application/json", out.str()};
+    }
+    report.write_folded(out);
+    return TelemetryResponse{200, "text/plain; charset=utf-8", out.str()};
   });
   return telemetry_->start(port);
 }

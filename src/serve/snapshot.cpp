@@ -7,6 +7,7 @@
 #include "semiring/block_io.hpp"
 #include "serve/reqtrace.hpp"
 #include "util/check.hpp"
+#include "util/prof.hpp"
 
 namespace capsp {
 namespace {
@@ -229,6 +230,8 @@ DistBlock SnapshotReader::read_tile(std::int64_t tile_id,
   CAPSP_CHECK_MSG(tile_id >= 0 && tile_id < header_.num_tiles(),
                   "tile " << tile_id << " outside [0," << header_.num_tiles()
                           << ")");
+  ProfScope prof("serve.snapshot_read");
+  prof.add_bytes(tile_payload_bytes(header_, tile_id));
   const std::int64_t tr = tile_id / header_.tile_cols();
   const std::int64_t tc = tile_id % header_.tile_cols();
   if (!file_backed_) {

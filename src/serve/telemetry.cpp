@@ -48,6 +48,24 @@ std::string render(const TelemetryResponse& response) {
 
 }  // namespace
 
+std::string telemetry_query_param(const std::string& query,
+                                  const std::string& key,
+                                  const std::string& fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0 && eq - pos == key.size()) {
+      const std::string value = query.substr(eq + 1, amp - eq - 1);
+      return value.empty() ? fallback : value;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
 TelemetryServer::~TelemetryServer() { stop(); }
 
 void TelemetryServer::handle(std::string path, Handler handler) {
@@ -138,15 +156,18 @@ void TelemetryServer::serve_connection(int fd) {
     response = {405, "text/plain; charset=utf-8", "GET only\n"};
   } else {
     std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string query_string;
     if (const std::size_t query = path.find('?');
-        query != std::string::npos)
+        query != std::string::npos) {
+      query_string = path.substr(query + 1);
       path.resize(query);
+    }
     const auto it = handlers_.find(path);
     if (it == handlers_.end()) {
       response = {404, "text/plain; charset=utf-8", "not found\n"};
     } else {
       try {
-        response = it->second();
+        response = it->second(query_string);
       } catch (const std::exception& e) {
         response = {500, "text/plain; charset=utf-8",
                     std::string("handler failed: ") + e.what() + "\n"};

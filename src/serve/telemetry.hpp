@@ -34,9 +34,19 @@ struct TelemetryResponse {
   std::string body;
 };
 
+/// Extract `key` from a raw "a=1&b=2" query string (the argument every
+/// Handler receives); `fallback` when absent or empty.  No URL decoding
+/// — telemetry parameters are numbers and bare words.
+std::string telemetry_query_param(const std::string& query,
+                                  const std::string& key,
+                                  const std::string& fallback = "");
+
 class TelemetryServer {
  public:
-  using Handler = std::function<TelemetryResponse()>;
+  /// Handlers receive the request's raw query string ("" when none), so
+  /// endpoints like /profile?seconds=N can take parameters while plain
+  /// ones ignore the argument.
+  using Handler = std::function<TelemetryResponse(const std::string& query)>;
 
   TelemetryServer() = default;
   ~TelemetryServer();

@@ -23,9 +23,21 @@ bool is_time_like(std::string_view name) {
          name.find("time") != std::string_view::npos;
 }
 
-double tolerance_for(const std::string& metric, const BenchDiffOptions& options) {
+/// Resolved comparison policy for one metric name: either skip it, or
+/// compare with a tolerance.  Precedence: exact-name override, then the
+/// first matching tolerance class, then the global default.
+struct MetricPolicy {
+  bool skip = false;
+  double tolerance = 0.0;
+};
+
+MetricPolicy policy_for(const std::string& metric,
+                        const BenchDiffOptions& options) {
   const auto it = options.metric_tolerance.find(metric);
-  return it != options.metric_tolerance.end() ? it->second : options.tolerance;
+  if (it != options.metric_tolerance.end()) return {false, it->second};
+  for (const MetricClass& cls : options.metric_classes)
+    if (glob_match(cls.pattern, metric)) return {cls.skip, cls.tolerance};
+  return {false, options.tolerance};
 }
 
 /// Human label for a record: its string-valued fields in file order,
@@ -73,6 +85,8 @@ void diff_records(const JsonValue& baseline, const JsonValue& candidate,
       continue;
     }
     if (options.ignore_time_like && is_time_like(name)) continue;
+    const MetricPolicy policy = policy_for(name, options);
+    if (policy.skip) continue;  // a skip-class metric (noisy counter)
     if (!cand_value->is_number() && cand_value->kind != JsonValue::Kind::kBool) {
       problem("field '" + name + "' is not numeric in candidate");
       continue;
@@ -90,7 +104,7 @@ void diff_records(const JsonValue& baseline, const JsonValue& candidate,
     delta.baseline = base;
     delta.candidate = cand;
     delta.relative_change = change;
-    delta.tolerance = tolerance_for(name, options);
+    delta.tolerance = policy.tolerance;
     delta.violation = change > delta.tolerance;
     if (delta.violation) ++report.violations;
     report.deltas.push_back(std::move(delta));
@@ -135,6 +149,29 @@ JsonValue load_json_file(const std::filesystem::path& path) {
 }
 
 }  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Iterative two-pointer glob: on mismatch, backtrack to the most
+  // recent '*' and let it absorb one more character.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (p < pattern.size() && pattern[p] == name[n]) {
+      ++p;
+      ++n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
 
 void diff_bench_documents(const JsonValue& baseline, const JsonValue& candidate,
                           const std::string& bench_name,

@@ -18,12 +18,26 @@
 
 namespace capsp {
 
+/// A tolerance class: every metric whose name matches `pattern` (glob,
+/// '*' matches any run of characters) gets `tolerance`, or is skipped
+/// entirely when `skip` is set.  Classes let one rule cover a family of
+/// inherently noisy metrics — e.g. `ops_per_*` for the hardware-counter
+/// throughput numbers in BENCH_prof_kernels — without enumerating them.
+struct MetricClass {
+  std::string pattern;
+  double tolerance = 0.0;
+  bool skip = false;
+};
+
 struct BenchDiffOptions {
   /// Relative tolerance |cand − base| / max(|base|, 1) for any numeric
   /// field without a per-metric override.
   double tolerance = 0.0;
   /// Per-metric overrides, keyed by the record field name.
   std::map<std::string, double> metric_tolerance;
+  /// Ordered pattern-based overrides, consulted after the exact-name map
+  /// (first matching class wins).
+  std::vector<MetricClass> metric_classes;
   /// Skip wall-clock-ish fields (name ends in _ms/_seconds/_ns or
   /// contains "wall"/"time") — the repo's bench records are logical
   /// costs and should not contain any, but a future field must not make
@@ -65,6 +79,10 @@ struct BenchDiffReport {
     return violations > 0 ? 1 : 0;
   }
 };
+
+/// Glob match with '*' wildcards (no '?', no character classes): the
+/// pattern language of MetricClass, exposed for tests.
+bool glob_match(std::string_view pattern, std::string_view name);
 
 /// Compare two parsed BENCH_ documents ({"bench": name, "records": [...]}).
 void diff_bench_documents(const JsonValue& baseline, const JsonValue& candidate,

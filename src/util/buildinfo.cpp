@@ -1,0 +1,106 @@
+#include "util/buildinfo.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "util/json.hpp"
+
+// Configure-time facts arrive as compile definitions from
+// src/util/CMakeLists.txt; default them so the file still compiles in
+// ad-hoc builds (e.g. a bare `c++ buildinfo.cpp`).
+#ifndef CAPSP_GIT_SHA
+#define CAPSP_GIT_SHA "unknown"
+#endif
+#ifndef CAPSP_BUILD_TYPE
+#define CAPSP_BUILD_TYPE "unknown"
+#endif
+#ifndef CAPSP_COMPILER_ID
+#define CAPSP_COMPILER_ID "unknown"
+#endif
+#ifndef CAPSP_CXX_FLAGS
+#define CAPSP_CXX_FLAGS ""
+#endif
+
+namespace capsp {
+
+namespace {
+
+std::string probe_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") != 0) continue;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+std::vector<std::string> probe_simd() {
+  std::vector<std::string> simd;
+#if defined(__x86_64__) || defined(__i386__)
+  // Runtime detection: what the *host* can run, which may exceed what
+  // this binary was compiled to use (compare against `flags`).
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("sse4.2")) simd.push_back("sse4.2");
+  if (__builtin_cpu_supports("avx")) simd.push_back("avx");
+  if (__builtin_cpu_supports("avx2")) simd.push_back("avx2");
+  if (__builtin_cpu_supports("fma")) simd.push_back("fma");
+  if (__builtin_cpu_supports("avx512f")) simd.push_back("avx512f");
+#elif defined(__aarch64__)
+  simd.push_back("neon");  // baseline on AArch64
+#endif
+  return simd;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_sha = CAPSP_GIT_SHA;
+    b.build_type = CAPSP_BUILD_TYPE;
+    b.compiler = CAPSP_COMPILER_ID;
+    b.flags = CAPSP_CXX_FLAGS;
+    b.cpu_model = probe_cpu_model();
+    b.simd = probe_simd();
+    return b;
+  }();
+  return info;
+}
+
+std::string version_string(const std::string& tool) {
+  const BuildInfo& b = build_info();
+  std::ostringstream out;
+  out << tool << " (capsp) git " << b.git_sha << " [" << b.build_type
+      << "]\n"
+      << "compiler: " << b.compiler
+      << (b.flags.empty() ? "" : " " + b.flags) << "\n"
+      << "cpu: " << b.cpu_model << "\nsimd:";
+  if (b.simd.empty()) out << " none-detected";
+  for (const std::string& s : b.simd) out << ' ' << s;
+  out << "\n";
+  return out.str();
+}
+
+void write_build_info_fields(JsonWriter& json) {
+  const BuildInfo& b = build_info();
+  json.key("provenance");
+  json.begin_object();
+  json.field("git_sha", b.git_sha);
+  json.field("build_type", b.build_type);
+  json.field("compiler", b.compiler);
+  json.field("flags", b.flags);
+  json.field("cpu_model", b.cpu_model);
+  json.key("simd");
+  json.begin_array();
+  for (const std::string& s : b.simd) json.value(s);
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace capsp

@@ -1,0 +1,49 @@
+// Build/run provenance: which source, compiler, and host produced a
+// number (docs/profiling.md, docs/metrics.md).
+//
+// Performance trajectories are only comparable when the build and host
+// are attributable, so every surface that emits measurements — the
+// tools' --version output, the serving /stats.json, and the BenchJson
+// dumps gated by bench_diff — stamps the same provenance record:
+//
+//   * git sha and build type, baked in at configure time (CI always
+//     reconfigures; a stale sha in a local incremental build is the
+//     accepted trade-off for not relinking on every commit),
+//   * compiler id/version and the effective optimisation flags,
+//   * the host CPU model (/proc/cpuinfo) and which SIMD families the
+//     running CPU supports — the baseline the planned AVX2/AVX-512
+//     min-plus kernels (ROADMAP item 1) will be judged against.
+//
+// Provenance in BENCH_*.json lives as a document-level "provenance"
+// object next to "records", never inside records: bench_diff treats
+// string record fields as identity, so a sha inside a record would turn
+// every commit into a structural diff failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capsp {
+
+class JsonWriter;
+
+struct BuildInfo {
+  std::string git_sha;     // short sha at configure time, "unknown" outside git
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string compiler;    // "GNU 13.2.0"-style id + version
+  std::string flags;       // effective CMAKE_CXX_FLAGS for the build type
+  std::string cpu_model;   // "model name" from /proc/cpuinfo, "unknown" elsewhere
+  std::vector<std::string> simd;  // SIMD families this CPU supports at runtime
+};
+
+/// The process-wide provenance record (CPU probe runs once, then cached).
+const BuildInfo& build_info();
+
+/// One-line human banner for `--version`: tool name, repo version, sha,
+/// compiler, CPU, SIMD list.
+std::string version_string(const std::string& tool);
+
+/// Emit `"provenance": { ... }` into an open JSON object.
+void write_build_info_fields(JsonWriter& json);
+
+}  // namespace capsp

@@ -1,0 +1,146 @@
+#include "util/procstat.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+namespace capsp {
+
+namespace {
+
+// Fallback uptime anchor when /proc is unavailable: dynamic init runs
+// within milliseconds of process start for this static-linked library.
+const std::chrono::steady_clock::time_point g_load_time =
+    std::chrono::steady_clock::now();
+
+#if defined(__linux__)
+/// Parse "Key: value kB"-style lines from /proc/self/status.
+bool read_status(double& rss_bytes, double& vm_bytes, double& threads) {
+  std::ifstream in("/proc/self/status");
+  if (!in.good()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    double value = 0;
+    fields >> key >> value;
+    if (key == "VmRSS:") rss_bytes = value * 1024.0;
+    else if (key == "VmSize:") vm_bytes = value * 1024.0;
+    else if (key == "Threads:") threads = value;
+  }
+  return true;
+}
+
+double count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  double count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  // Subtract ".", "..", and the directory's own fd.
+  return count > 3 ? count - 3 : 0;
+}
+
+/// Exact process uptime: (/proc/uptime) − (starttime ticks / CLK_TCK).
+/// starttime is field 22 of /proc/self/stat, after the parenthesised
+/// comm field (which may itself contain spaces — scan from the last ')').
+double proc_uptime_seconds() {
+  std::ifstream up("/proc/uptime");
+  double boot_uptime = 0;
+  if (!(up >> boot_uptime)) return -1;
+  std::ifstream statf("/proc/self/stat");
+  std::string stat;
+  if (!std::getline(statf, stat)) return -1;
+  const std::size_t paren = stat.rfind(')');
+  if (paren == std::string::npos) return -1;
+  std::istringstream rest(stat.substr(paren + 1));
+  std::string field;
+  // Fields 3..21 precede starttime (field 22).
+  for (int i = 3; i <= 21; ++i) rest >> field;
+  double start_ticks = 0;
+  if (!(rest >> start_ticks)) return -1;
+  const double tick = static_cast<double>(::sysconf(_SC_CLK_TCK));
+  if (tick <= 0) return -1;
+  return boot_uptime - start_ticks / tick;
+}
+#endif  // __linux__
+
+}  // namespace
+
+ProcessStats sample_process_stats() {
+  ProcessStats stats;
+
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.user_cpu_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                             static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    stats.system_cpu_seconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+
+  struct rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) == 0)
+    stats.max_fds = static_cast<double>(limit.rlim_cur);
+
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_load_time)
+          .count();
+
+#if defined(__linux__)
+  stats.available = read_status(stats.rss_bytes, stats.vm_bytes, stats.threads);
+  if (stats.available) {
+    stats.open_fds = count_open_fds();
+    const double uptime = proc_uptime_seconds();
+    if (uptime >= 0) stats.uptime_seconds = uptime;
+  }
+#endif
+  return stats;
+}
+
+void append_process_metrics(MetricsSnapshot& snapshot) {
+  const ProcessStats stats = sample_process_stats();
+  const auto gauge = [&snapshot](const char* name, double value) {
+    Metric metric;
+    metric.kind = MetricKind::kGauge;
+    metric.gauge = value;
+    snapshot[name] = metric;
+  };
+  gauge("process.rss_bytes", stats.rss_bytes);
+  gauge("process.virtual_memory_bytes", stats.vm_bytes);
+  gauge("process.cpu_user_seconds", stats.user_cpu_seconds);
+  gauge("process.cpu_system_seconds", stats.system_cpu_seconds);
+  gauge("process.open_fds", stats.open_fds);
+  gauge("process.max_fds", stats.max_fds);
+  gauge("process.uptime_seconds", stats.uptime_seconds);
+  gauge("process.threads", stats.threads);
+}
+
+void write_process_fields(JsonWriter& json) {
+  const ProcessStats stats = sample_process_stats();
+  json.key("process");
+  json.begin_object();
+  json.field("available", stats.available);
+  json.field("rss_bytes", stats.rss_bytes);
+  json.field("virtual_memory_bytes", stats.vm_bytes);
+  json.field("cpu_user_seconds", stats.user_cpu_seconds);
+  json.field("cpu_system_seconds", stats.system_cpu_seconds);
+  json.field("open_fds", stats.open_fds);
+  json.field("max_fds", stats.max_fds);
+  json.field("uptime_seconds", stats.uptime_seconds);
+  json.field("threads", stats.threads);
+  json.end_object();
+}
+
+}  // namespace capsp

@@ -1,0 +1,41 @@
+// Standard process self-metrics for the observability surfaces
+// (docs/telemetry.md): resident set size, CPU time split, open file
+// descriptors, and process uptime.
+//
+// Everything is sampled on demand from /proc/self and getrusage — no
+// background thread, no caching — so a Prometheus scrape or /stats.json
+// render always reports current values.  On non-Linux hosts the /proc
+// reads fail soft (fields stay 0 and `available` says so); CPU time via
+// getrusage works on any POSIX system.
+#pragma once
+
+#include "util/metrics.hpp"
+
+namespace capsp {
+
+class JsonWriter;
+
+struct ProcessStats {
+  bool available = false;         // /proc/self was readable
+  double rss_bytes = 0;           // VmRSS
+  double vm_bytes = 0;            // VmSize
+  double user_cpu_seconds = 0;    // getrusage ru_utime
+  double system_cpu_seconds = 0;  // getrusage ru_stime
+  double open_fds = 0;            // entries in /proc/self/fd
+  double max_fds = 0;             // RLIMIT_NOFILE soft limit
+  double uptime_seconds = 0;      // since this process first sampled
+  double threads = 0;             // Threads: from /proc/self/status
+};
+
+ProcessStats sample_process_stats();
+
+/// Inject `process.*` gauges into a metrics snapshot (the serving
+/// /metrics handler calls this right before rendering, so scrapes see
+/// fresh values without a collector thread).
+void append_process_metrics(MetricsSnapshot& snapshot);
+
+/// Emit `"process": { ... }` into an open JSON object (/stats.json and
+/// the tools' summary JSON).
+void write_process_fields(JsonWriter& json);
+
+}  // namespace capsp

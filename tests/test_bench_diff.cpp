@@ -108,6 +108,61 @@ TEST(BenchDiff, PerMetricToleranceOverride) {
   EXPECT_FALSE(r.deltas[0].violation);
 }
 
+TEST(GlobMatch, WildcardSemantics) {
+  EXPECT_TRUE(glob_match("ops", "ops"));
+  EXPECT_FALSE(glob_match("ops", "ops_per_second"));
+  EXPECT_TRUE(glob_match("ops_per_*", "ops_per_second"));
+  EXPECT_TRUE(glob_match("ops_per_*", "ops_per_"));
+  EXPECT_FALSE(glob_match("ops_per_*", "ops"));
+  EXPECT_TRUE(glob_match("*_misses", "llc_misses"));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+  // Multiple stars backtrack: the first '*' absorbs enough for the rest.
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_TRUE(glob_match("a*b*c", "abbc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXbYY"));
+}
+
+TEST(BenchDiff, MetricClassAppliesByPattern) {
+  BenchDiffOptions options;
+  options.metric_classes.push_back({"ops_per_*", 0.5, false});
+  const BenchDiffReport r =
+      diff(R"([{"ops_per_second": 100, "words": 10}])",
+           R"([{"ops_per_second": 140, "words": 10}])", options);
+  EXPECT_EQ(r.exit_code(), 0);  // 40% < the class's 50%
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.deltas[0].tolerance, 0.5);
+}
+
+TEST(BenchDiff, MetricClassSkipExcludesFromComparison) {
+  BenchDiffOptions options;
+  options.metric_classes.push_back({"*_misses", 0.0, true});
+  const BenchDiffReport r =
+      diff(R"([{"llc_misses": 100, "words": 10}])",
+           R"([{"llc_misses": 9000, "words": 10}])", options);
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_TRUE(r.deltas.empty());       // skipped, not merely tolerated
+  EXPECT_EQ(r.metrics_compared, 1);    // only "words" counted
+}
+
+TEST(BenchDiff, ExactOverrideBeatsClassAndFirstClassWins) {
+  BenchDiffOptions options;
+  options.metric_tolerance["ops_per_second"] = 0.1;
+  options.metric_classes.push_back({"ops_per_*", 0.0, true});  // would skip
+  options.metric_classes.push_back({"ops_*", 2.0, false});     // shadowed
+  const BenchDiffReport r =
+      diff(R"([{"ops_per_second": 100, "ops_per_cycle": 1}])",
+           R"([{"ops_per_second": 140, "ops_per_cycle": 9}])", options);
+  // ops_per_second: exact override (10%) -> 40% change violates.
+  // ops_per_cycle: first class wins -> skipped despite the looser second.
+  EXPECT_EQ(r.violations, 1);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].metric, "ops_per_second");
+  EXPECT_DOUBLE_EQ(r.deltas[0].tolerance, 0.1);
+}
+
 TEST(BenchDiff, SmallBaselineUsesAbsoluteFloor) {
   // rel = |c - b| / max(|b|, 1): a 0 -> 0.5 move is a 50% change, not a
   // division by zero.

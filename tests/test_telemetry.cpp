@@ -12,16 +12,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "serve/reqtrace.hpp"
 #include "serve/slo.hpp"
 #include "serve/telemetry.hpp"
 #include "util/metrics.hpp"
+#include "util/procstat.hpp"
+#include "util/prof.hpp"
 #include "util/prometheus.hpp"
 
 namespace capsp {
@@ -162,6 +167,33 @@ TEST(RollingHistogram, PercentilesComeFromTheMergedWindow) {
   EXPECT_LE(stats.p50, 16.0);
   EXPECT_DOUBLE_EQ(stats.p99, 5000.0);
   EXPECT_DOUBLE_EQ(stats.max, 5000.0);
+}
+
+TEST(RollingHistogram, SparseWindowPercentilesFromASingleObservation) {
+  // The degenerate-but-common idle-service shape: one slice holds one
+  // sample, the rest of the window is empty.  Every percentile must be
+  // that sample (clamped to the exact max), never a bucket midpoint of
+  // an empty histogram.
+  using Clock = RollingHistogram::Clock;
+  const Clock::time_point e = Clock::now();
+  RollingHistogram window(10.0, 5, e);
+  window.observe(42.0, e + seconds(7));
+  const WindowStats stats = window.stats(e + seconds(8));
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.min, 42.0);
+  EXPECT_DOUBLE_EQ(stats.max, 42.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 42.0);
+  // With a single sample, p50/p95/p99 all land on it (log2 buckets
+  // clamp the last percentile to the observed max).
+  EXPECT_GE(stats.p50, 42.0 / 2);
+  EXPECT_LE(stats.p50, 64.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 42.0);
+
+  // Percentiles of a window that sees counts only in its oldest live
+  // slice (everything newer empty) still come from that slice.
+  const WindowStats late = window.stats(e + seconds(15));
+  EXPECT_EQ(late.count, 1);
+  EXPECT_DOUBLE_EQ(late.p99, 42.0);
 }
 
 // ---------------------------------------------------------------------
@@ -426,7 +458,7 @@ TEST(TelemetryServer, GoldenScrapeOfALiveEndpoint) {
   MetricsRegistry registry;
   registry.counter_add("serve.request.ok", 7);
   TelemetryServer server;
-  server.handle("/metrics", [&registry] {
+  server.handle("/metrics", [&registry](const std::string&) {
     std::ostringstream out;
     write_prometheus_text(out, registry.snapshot(), "capsp_");
     return TelemetryResponse{
@@ -463,8 +495,10 @@ TEST(TelemetryServer, GoldenScrapeOfALiveEndpoint) {
 
 TEST(TelemetryServer, RoutingAndErrorStatuses) {
   TelemetryServer server;
-  server.handle("/ok", [] { return TelemetryResponse{200, "text/plain", "fine\n"}; });
-  server.handle("/boom", []() -> TelemetryResponse {
+  server.handle("/ok", [](const std::string&) {
+    return TelemetryResponse{200, "text/plain", "fine\n"};
+  });
+  server.handle("/boom", [](const std::string&) -> TelemetryResponse {
     throw std::runtime_error("kaput");
   });
   const int port = server.start(0);
@@ -484,6 +518,106 @@ TEST(TelemetryServer, RoutingAndErrorStatuses) {
       std::string::npos);
   EXPECT_NE(http_exchange(port, "garbage\r\n\r\n").find("HTTP/1.1 400"),
             std::string::npos);
+}
+
+TEST(TelemetryServer, QueryStringReachesTheHandler) {
+  TelemetryServer server;
+  server.handle("/echo", [](const std::string& query) {
+    return TelemetryResponse{
+        200, "text/plain",
+        telemetry_query_param(query, "x", "none") + "\n"};
+  });
+  const int port = server.start(0);
+  EXPECT_NE(body_of(http_get(port, "/echo?x=7&y=8")).find("7\n"),
+            std::string::npos);
+  EXPECT_NE(body_of(http_get(port, "/echo")).find("none\n"),
+            std::string::npos);
+}
+
+TEST(TelemetryQueryParam, ParsingEdgeCases) {
+  EXPECT_EQ(telemetry_query_param("a=1&b=2", "a", "d"), "1");
+  EXPECT_EQ(telemetry_query_param("a=1&b=2", "b", "d"), "2");
+  EXPECT_EQ(telemetry_query_param("a=1&b=2", "c", "d"), "d");
+  EXPECT_EQ(telemetry_query_param("", "a", "d"), "d");
+  // Empty value falls back, so "?seconds=" behaves like an omitted flag.
+  EXPECT_EQ(telemetry_query_param("a=&b=2", "a", "d"), "d");
+  // A key must match exactly, not as a prefix/suffix of another key.
+  EXPECT_EQ(telemetry_query_param("ab=1", "a", "d"), "d");
+  EXPECT_EQ(telemetry_query_param("b=2&a=3", "a", "d"), "3");
+  // Valueless tokens are skipped, not misparsed.
+  EXPECT_EQ(telemetry_query_param("flag&a=1", "a", "d"), "1");
+}
+
+// ---------------------------------------------------------------------
+// Profiler vs. scraper interleaving
+
+// Soak for the sanitizer builds: worker threads push/pop ProfScopes and
+// register/unregister (thread birth/death) while the sampler walks their
+// stacks and HTTP scrapers concurrently read process stats and profiler
+// status.  Assertions are sanity-only; the value is TSan coverage of the
+// scope-stack/ring/registry handoffs under real contention.
+TEST(TelemetryServer, ScrapeWhileProfilingSoak) {
+  TelemetryServer server;
+  server.handle("/stats.json", [](const std::string&) {
+    std::ostringstream out;
+    const Profiler::Status status = Profiler::global().status();
+    MetricsSnapshot snapshot;
+    append_process_metrics(snapshot);
+    out << "{\"running\": " << (status.running ? "true" : "false")
+        << ", \"metrics\": " << snapshot.size() << "}\n";
+    return TelemetryResponse{200, "application/json", out.str()};
+  });
+  const int port = server.start(0);
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ProfScope outer("test.soak.outer");
+        for (int i = 0; i < 50; ++i) {
+          ProfScope inner("test.soak.inner");
+          inner.add_ops(10);
+          inner.add_bytes(80);
+        }
+        // Thread churn: short-lived threads exercise registry
+        // registration/removal against the sampler's walk.
+        std::thread churn([] { ProfScope s("test.soak.churn"); });
+        churn.join();
+      }
+    });
+  }
+  std::thread scraper([&stop, port] {
+    while (!stop.load(std::memory_order_acquire))
+      (void)http_get(port, "/stats.json");
+  });
+
+  std::int64_t total_samples = 0;
+  for (int round = 0; round < 3; ++round) {
+    ProfOptions options;
+    options.hz = 997;
+    ASSERT_TRUE(Profiler::global().start(options));
+    EXPECT_FALSE(Profiler::global().start(options));  // busy, not UB
+    std::this_thread::sleep_for(milliseconds(60));
+    const ProfReport report = Profiler::global().stop();
+    EXPECT_TRUE(report.enabled);
+    EXPECT_EQ(report.dropped, 0);  // sampler self-drains its ring
+    total_samples += report.samples;
+    // Kernel accounting from the workers must be visible and coherent.
+    const auto it = report.kernels.find("test.soak.inner");
+    if (it != report.kernels.end()) {
+      EXPECT_EQ(it->second.ops * 8, it->second.bytes);
+      EXPECT_GT(it->second.calls, 0);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  scraper.join();
+  EXPECT_FALSE(Profiler::global().running());
+  // Three 60 ms windows at ~1 kHz over 3 busy threads: seeing zero
+  // samples would mean the sampler never observed a stack.
+  EXPECT_GT(total_samples, 0);
 }
 
 }  // namespace

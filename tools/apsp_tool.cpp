@@ -25,6 +25,7 @@
 //       run under fault injection with the reliable transport; a plan
 //       that kills a rank ends with a DeadlockReport and exit code 3 —
 //       see docs/robustness.md (--recv-timeout tunes the watchdog)
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -35,9 +36,11 @@
 #include "machine/trace_export.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
+#include "util/buildinfo.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -80,12 +83,30 @@ void print_help() {
       "                   is solved once and served from memory)\n"
       "--mode gen:        --out <path>\n"
       "\n"
+      "profiling (any mode; see docs/profiling.md):\n"
+      "  --profile                sample the run's ProfScope stacks and\n"
+      "                           print hot scopes + a kernel roofline\n"
+      "  --profile-hz <hz>        sampling rate (default 497)\n"
+      "  --profile-folded <path>  flamegraph-ready folded stacks\n"
+      "  --profile-json <path>    full ProfReport JSON (also embedded in\n"
+      "                           --metrics-json next to the oracle section)\n"
+      "  --version                build/host provenance, then exit\n"
+      "\n"
       "exit codes:\n"
       "  0  success\n"
       "  1  error (bad input, failed invariant CHECK, failed --verify)\n"
       "  2  usage error (unknown --mode)\n"
       "  3  deadlock: the watchdog aborted the run (structured report on\n"
       "     stderr; --report-json receives the DeadlockReport JSON)\n";
+}
+
+/// Ends the --profile session (idempotent) and caches the report so the
+/// metrics JSON, the artifact files, and the stdout summary all describe
+/// the same window.
+const ProfReport* finish_profiler() {
+  static std::optional<ProfReport> report;
+  if (Profiler::global().running()) report = Profiler::global().stop();
+  return report ? &*report : nullptr;
 }
 
 /// --metrics-json: dump the merged registry (plus the oracle comparison
@@ -111,9 +132,81 @@ void write_metrics(const Cli& cli, const CostReport* costs) {
     json.field("latency_ratio", o.latency_ratio);
     json.end_object();
   }
+  // A --profile run lands its report here too, so the compute roofline
+  // sits next to the oracle's communication comparison in one document.
+  if (const ProfReport* prof = finish_profiler(); prof != nullptr)
+    write_prof_fields(json, *prof);
+  write_build_info_fields(json);
   json.end_object();
   out << "\n";
   std::cout << "wrote metrics to " << path << "\n";
+}
+
+/// Stdout digest + artifact files for a --profile run: top scopes by
+/// sample count, the per-kernel roofline, and counter availability.
+void emit_profile_outputs(const Cli& cli, const ProfReport& report) {
+  const std::string folded_path = cli.get_string("profile-folded", "");
+  if (!folded_path.empty()) {
+    std::ofstream out(folded_path);
+    CAPSP_CHECK_MSG(out, "cannot write --profile-folded file " << folded_path);
+    report.write_folded(out);
+    std::cout << "wrote folded stacks (" << report.folded.size()
+              << " unique) to " << folded_path << "\n";
+  }
+  const std::string json_path = cli.get_string("profile-json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    CAPSP_CHECK_MSG(out, "cannot write --profile-json file " << json_path);
+    write_prof_report_json(out, report);
+    std::cout << "wrote profile report to " << json_path << "\n";
+  }
+
+  std::cout << "\nprofile: " << report.samples << " samples @ " << report.hz
+            << " Hz over " << report.duration_seconds << " s";
+  if (report.perf.any_available) {
+    std::cout << " (perf counters: ";
+    bool first = true;
+    for (const PerfCounter& c : report.perf.counters) {
+      if (!c.available) continue;
+      std::cout << (first ? "" : " ") << c.name << "=" << c.value;
+      first = false;
+    }
+    std::cout << ")";
+  } else if (report.perf.attempted) {
+    std::cout << " (perf counters unavailable; see docs/profiling.md)";
+  }
+  std::cout << "\n";
+
+  std::vector<std::pair<std::string, std::int64_t>> top(
+      report.total_samples.begin(), report.total_samples.end());
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  const std::size_t shown = std::min<std::size_t>(top.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto self = report.self_samples.find(top[i].first);
+    std::cout << "  " << top[i].first << ": " << top[i].second << " total, "
+              << (self == report.self_samples.end() ? 0 : self->second)
+              << " self\n";
+  }
+  if (!report.kernels.empty()) {
+    std::cout << "kernel roofline (machine peak "
+              << report.peak.minplus_ops_per_second << " ops/s, "
+              << report.peak.stream_bytes_per_second << " bytes/s):\n";
+    for (const auto& [name, k] : report.kernels) {
+      if (k.ops == 0 && k.bytes == 0) continue;
+      std::cout << "  " << name << ": " << k.calls << " calls, "
+                << k.ops_per_second() << " ops/s";
+      if (report.peak.minplus_ops_per_second > 0 && k.ops > 0)
+        std::cout << " ("
+                  << 100.0 * k.ops_per_second() /
+                         report.peak.minplus_ops_per_second
+                  << "% of peak)";
+      if (report.ops_per_cycle(k) > 0)
+        std::cout << ", " << report.ops_per_cycle(k) << " ops/cycle";
+      std::cout << "\n";
+    }
+  }
 }
 
 Graph build_graph(const Cli& cli, Rng& rng) {
@@ -418,8 +511,18 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    if (cli.get_bool("version", false)) {
+      std::cout << version_string("apsp_tool");
+      return 0;
+    }
     const std::string mode = cli.get_string("mode", "solve");
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    if (cli.get_bool("profile", false)) {
+      ProfOptions prof_options;
+      prof_options.hz = cli.get_double("profile-hz", 497.0);
+      CAPSP_CHECK_MSG(Profiler::global().start(prof_options),
+                      "profiler already running");
+    }
     // Pre-register flags each mode may use so check_unused stays accurate.
     int status;
     if (mode == "gen") {
@@ -435,6 +538,8 @@ int main(int argc, char** argv) {
                 << "' (solve|partition|query|gen)\n";
       return 2;
     }
+    if (const ProfReport* prof = finish_profiler(); prof != nullptr)
+      emit_profile_outputs(cli, *prof);
     return status;
   } catch (const capsp::check_error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -34,6 +34,13 @@ flags:
                           (default 0: any change fails)
   --metric-tolerance name=frac[,name=frac...]
                           per-metric overrides of --tolerance
+  --metric-class pattern=frac|skip[,pattern=...]
+                          tolerance classes: every metric matching the
+                          glob pattern ('*' wildcards) gets the given
+                          tolerance, or is skipped entirely with =skip.
+                          Consulted after --metric-tolerance, first
+                          match wins (e.g. 'ops_per_*=0.5,*_misses=skip'
+                          for noisy hardware-counter metrics)
   --compare-time          also compare wall-clock-ish fields (*_ms,
                           *_seconds, ...); skipped by default
   --require-all           fail if the candidate is missing a baseline bench
@@ -67,6 +74,33 @@ void parse_metric_tolerances(const std::string& spec,
   }
 }
 
+/// Parses "ops_per_*=0.5,*_misses=skip" into ordered tolerance classes.
+void parse_metric_classes(const std::string& spec,
+                          capsp::BenchDiffOptions& options) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.rfind('=');
+    CAPSP_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "bad --metric-class item '"
+                        << item << "' (expected pattern=fraction|skip)");
+    capsp::MetricClass cls;
+    cls.pattern = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (value == "skip") {
+      cls.skip = true;
+    } else {
+      cls.tolerance = std::stod(value);
+      CAPSP_CHECK_MSG(cls.tolerance >= 0, "--metric-class tolerance must be "
+                                              << ">= 0, got " << value);
+    }
+    options.metric_classes.push_back(std::move(cls));
+    pos = comma + 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +123,7 @@ int main(int argc, char** argv) {
     CAPSP_CHECK_MSG(options.tolerance >= 0,
                     "--tolerance must be >= 0, got " << options.tolerance);
     parse_metric_tolerances(cli.get_string("metric-tolerance", ""), options);
+    parse_metric_classes(cli.get_string("metric-class", ""), options);
     options.ignore_time_like = !cli.get_bool("compare-time", false);
     options.require_all = cli.get_bool("require-all", false);
     const std::string report_md = cli.get_string("report-md", "");

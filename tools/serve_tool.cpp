@@ -22,7 +22,7 @@
 //       summary.  Counts depend on timing, so the soak BENCH record
 //       (serve_soak_*) carries only config fields plus wall-clock-named
 //       fields the bench_diff gate skips.
-//   serve_tool --mode serve ... --telemetry-port 0 --trace-sample 64 \
+//   serve_tool --mode serve ... --telemetry-port 0 --trace-sample 64
 //              --slow-ms 5 --reqtrace traces.json --slo-latency-ms 2
 //       live observability (docs/telemetry.md): /metrics + /healthz +
 //       /stats.json on an ephemeral port, 1-in-64 request-trace
@@ -51,8 +51,10 @@
 #include "serve/reqtrace.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
+#include "util/buildinfo.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/prof.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -117,6 +119,17 @@ void print_help() {
       "  --slo-latency-ms <ms>    latency SLO threshold (0 = off)\n"
       "  --slo-target <f>         latency SLO target (default 0.99)\n"
       "  --slo-availability <f>   availability SLO target (default 0.999)\n"
+      "\n"
+      "profiling (docs/profiling.md):\n"
+      "  --profile                sample worker/client ProfScope stacks\n"
+      "                           for the whole run; prints hot scopes\n"
+      "                           and kernel throughput at exit\n"
+      "  --profile-hz <hz>        sampling rate (default 497)\n"
+      "  --profile-folded <path>  flamegraph-ready folded stacks\n"
+      "  --profile-json <path>    full ProfReport JSON\n"
+      "  (a live service also exposes /profile?seconds=N on the\n"
+      "   --telemetry-port endpoint for windowed captures)\n"
+      "  --version                build/host provenance, then exit\n"
       "\n"
       "exit codes:\n"
       "  0  success\n"
@@ -578,6 +591,56 @@ int mode_serve(const Cli& cli, Rng& rng) {
   return 0;
 }
 
+/// Whole-run profiling artifacts + stdout digest, mirroring apsp_tool's
+/// (the serving hot scopes are serve.execute.*, serve.tile_fill,
+/// serve.cache.*, serve.snapshot_read).
+void emit_profile_outputs(const Cli& cli, const ProfReport& report) {
+  const std::string folded_path = cli.get_string("profile-folded", "");
+  if (!folded_path.empty()) {
+    std::ofstream out(folded_path);
+    CAPSP_CHECK_MSG(out, "cannot write --profile-folded file " << folded_path);
+    report.write_folded(out);
+    std::cout << "wrote folded stacks (" << report.folded.size()
+              << " unique) to " << folded_path << "\n";
+  }
+  const std::string json_path = cli.get_string("profile-json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    CAPSP_CHECK_MSG(out, "cannot write --profile-json file " << json_path);
+    write_prof_report_json(out, report);
+    std::cout << "wrote profile report to " << json_path << "\n";
+  }
+  std::cout << "profile: " << report.samples << " samples @ " << report.hz
+            << " Hz over " << report.duration_seconds << " s"
+            << (report.perf.any_available
+                    ? ""
+                    : (report.perf.attempted ? " (perf counters unavailable)"
+                                             : ""))
+            << "\n";
+  std::vector<std::pair<std::string, std::int64_t>> top(
+      report.total_samples.begin(), report.total_samples.end());
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  for (std::size_t i = 0; i < std::min<std::size_t>(top.size(), 8); ++i) {
+    const auto self = report.self_samples.find(top[i].first);
+    std::cout << "  " << top[i].first << ": " << top[i].second << " total, "
+              << (self == report.self_samples.end() ? 0 : self->second)
+              << " self\n";
+  }
+  for (const auto& [name, k] : report.kernels) {
+    if (k.bytes == 0 && k.ops == 0) continue;
+    std::cout << "  " << name << ": " << k.calls << " calls, "
+              << k.bytes_per_second() << " bytes/s";
+    if (report.peak.stream_bytes_per_second > 0 && k.bytes > 0)
+      std::cout << " ("
+                << 100.0 * k.bytes_per_second() /
+                       report.peak.stream_bytes_per_second
+                << "% of stream peak)";
+    std::cout << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -587,12 +650,31 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    if (cli.get_bool("version", false)) {
+      std::cout << version_string("serve_tool");
+      return 0;
+    }
     const std::string mode = cli.get_string("mode", "serve");
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-    if (mode == "upgrade") return mode_upgrade(cli);
-    if (mode == "serve") return mode_serve(cli, rng);
-    std::cerr << "unknown --mode '" << mode << "' (serve|upgrade)\n";
-    return 2;
+    // Start before the service spawns its workers so perf counters (when
+    // the host grants them) inherit into every worker thread.
+    if (cli.get_bool("profile", false)) {
+      ProfOptions prof_options;
+      prof_options.hz = cli.get_double("profile-hz", 497.0);
+      CAPSP_CHECK_MSG(Profiler::global().start(prof_options),
+                      "profiler already running");
+    }
+    int status = 2;
+    if (mode == "upgrade") {
+      status = mode_upgrade(cli);
+    } else if (mode == "serve") {
+      status = mode_serve(cli, rng);
+    } else {
+      std::cerr << "unknown --mode '" << mode << "' (serve|upgrade)\n";
+    }
+    if (Profiler::global().running())
+      emit_profile_outputs(cli, Profiler::global().stop());
+    return status;
   } catch (const capsp::check_error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
