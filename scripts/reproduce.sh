@@ -51,6 +51,12 @@ run_serve_benches() {
   ./build/tools/serve_tool --mode serve --snapshot "$dir/serve.snap" \
     --graph grid --n 441 --threads 4 --requests 1500 \
     --mix bfs --queries path --cache-bytes 262144
+  # Chaos pair (docs/robustness.md): a clean and a faulted pass from one
+  # process.  The chaos_* record fields vary with scheduling and are
+  # class-skipped by the CI gate (chaos_*=skip).
+  ./build/tools/serve_tool --mode serve --snapshot "$dir/serve.snap" \
+    --graph grid --n 441 --threads 4 --requests 4000 \
+    --mix zipf --queries distance --clients 4 --cache-bytes 262144 --chaos
   rm -rf "$dir"
 }
 

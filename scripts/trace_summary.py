@@ -152,9 +152,12 @@ def summarize_serve(argv):
     print(f"\nrequests: {req['total']:,} total "
           f"({req['distance']:,} distance, {req['path']:,} path, "
           f"{req['knear']:,} knear)")
-    print(f"  ok {req['ok']:,}, overloaded {req['overloaded']:,}, "
-          f"deadline_exceeded {req['deadline_exceeded']:,}, "
-          f"shutdown {req['shutdown']:,}")
+    line = (f"  ok {req['ok']:,}, overloaded {req['overloaded']:,}, "
+            f"deadline_exceeded {req['deadline_exceeded']:,}, "
+            f"shutdown {req['shutdown']:,}")
+    if req.get("degraded") is not None:
+        line += f", degraded {req['degraded']:,}"
+    print(line)
 
     cache = serve["cache"]
     lookups = cache["hits"] + cache["misses"]
@@ -213,7 +216,57 @@ def summarize_serve(argv):
               f"{reqtrace['slow_ms']:g} ms), {reqtrace['slow']:,} slow, "
               f"{reqtrace['sampled_kept']:,} sampled kept, "
               f"{reqtrace['dropped']:,} dropped")
+
+    summarize_resilience(serve.get("resilience"))
     return 0
+
+
+def summarize_resilience(res):
+    """Render the serve.resilience section (docs/robustness.md): health,
+    retry/quarantine ledgers, worker-watchdog outcomes, and — for chaos
+    runs — the injected-fault plan and totals.  No-op for summaries that
+    predate the section."""
+    if not res:
+        return
+    if not res.get("enabled"):
+        print("\nresilience: disabled (--no-resilience)")
+        return
+    retry = res["retry"]
+    quarantine = res["quarantine"]
+    workers = res["workers"]
+    print(f"\nresilience: health {res['health']}")
+    print(f"  retry: {retry['attempts']:,} retries "
+          f"(max {retry['max_attempts']} attempts/read), "
+          f"{retry['success']:,} recovered, "
+          f"{retry['exhausted']:,} exhausted")
+    print(f"  quarantine: {quarantine['active']:,} active, "
+          f"{quarantine['enters']:,} entered / "
+          f"{quarantine['exits']:,} exited "
+          f"(threshold {quarantine['threshold']}, cooldown "
+          f"{quarantine['cooldown_ms']:g} ms), "
+          f"{quarantine['blocked']:,} blocked, "
+          f"{quarantine['probes']:,} probes")
+    watchdog = (f"watchdog at {workers['stuck_threshold_ms']:g} ms"
+                if workers["stuck_threshold_ms"] > 0 else "watchdog off")
+    print(f"  workers: {workers['active']:,} active, "
+          f"{workers['stuck']:,} stuck, {workers['replaced']:,} replaced "
+          f"({watchdog})")
+    observed = res["faults_observed"]
+    if any(observed.values()):
+        print(f"  faults observed: {observed['io']:,} io, "
+              f"{observed['checksum']:,} checksum, "
+              f"{observed['alloc']:,} alloc, "
+              f"{observed['stuck_worker']:,} stuck worker(s)")
+    if res.get("fault_plan"):
+        injected = res["faults_injected"]
+        print(f"  chaos plan: {res['fault_plan']}")
+        print(f"  faults injected: {injected['eio']:,} eio, "
+              f"{injected['eintr']:,} eintr, "
+              f"{injected['short_reads']:,} short, "
+              f"{injected['flips']:,} flips, "
+              f"{injected['delays']:,} delays, "
+              f"{injected['allocs']:,} allocs, "
+              f"{injected['sticks']:,} sticks")
 
 
 def summarize_reqtrace(argv):

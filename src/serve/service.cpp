@@ -63,8 +63,41 @@ const char* outcome_counter(ServeError error) {
     case ServeError::kDeadlineExceeded:
       return "serve.request.deadline_exceeded";
     case ServeError::kShutdown: return "serve.request.shutdown";
+    case ServeError::kDegraded: return "serve.request.degraded";
   }
   return "serve.request.ok";
+}
+
+const char* fault_counter(TileReadError::Kind kind) {
+  switch (kind) {
+    case TileReadError::Kind::kIo: return "serve.fault.io";
+    case TileReadError::Kind::kChecksum: return "serve.fault.checksum";
+    case TileReadError::Kind::kAlloc: return "serve.fault.alloc";
+  }
+  return "serve.fault.io";
+}
+
+/// Internal signal that a lookup could not be served because its tile is
+/// unavailable; caught at the do_* boundary and turned into kDegraded.
+/// Never escapes the service.
+struct DegradedTile {
+  std::int64_t tile_id = -1;
+};
+
+std::int64_t steady_micros_now() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Jitter stream for retry backoff: per-thread so concurrent workers
+/// de-synchronize; seeding does not need cross-run determinism.
+Rng& backoff_rng() {
+  static thread_local Rng rng(
+      0x243f6a8885a308d3ull ^
+      static_cast<std::uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  return rng;
 }
 
 }  // namespace
@@ -75,6 +108,7 @@ const char* to_string(ServeError error) {
     case ServeError::kOverloaded: return "overloaded";
     case ServeError::kDeadlineExceeded: return "deadline_exceeded";
     case ServeError::kShutdown: return "shutdown";
+    case ServeError::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -89,7 +123,10 @@ DistanceService::DistanceService(std::shared_ptr<SnapshotReader> snapshot,
                   options.trace_keep, options.slow_trace_keep}),
       slo_(options.slo),
       latency_window_(options.window_seconds, options.window_slices),
-      error_window_(options.window_seconds, options.window_slices) {
+      error_window_(options.window_seconds, options.window_slices),
+      resilience_on_(options.resilience),
+      quarantine_(options.resilience ? options.quarantine
+                                     : QuarantineOptions{0, 0}) {
   CAPSP_CHECK_MSG(snapshot_ != nullptr, "DistanceService needs a snapshot");
   const SnapshotHeader& h = snapshot_->header();
   CAPSP_CHECK_MSG(h.rows == graph_.num_vertices() &&
@@ -99,9 +136,26 @@ DistanceService::DistanceService(std::shared_ptr<SnapshotReader> snapshot,
                                  << " vertices");
   CAPSP_CHECK_MSG(options_.threads >= 1,
                   "service needs >= 1 worker, got " << options_.threads);
-  workers_.reserve(static_cast<std::size_t>(options_.threads));
-  for (int i = 0; i < options_.threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  CAPSP_CHECK_MSG(options_.retry.max_attempts >= 1,
+                  "retry.max_attempts must be >= 1, got "
+                      << options_.retry.max_attempts);
+  if (options_.fault_injector != nullptr)
+    snapshot_->set_fault_injector(options_.fault_injector.get());
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.reserve(static_cast<std::size_t>(options_.threads));
+    for (int i = 0; i < options_.threads; ++i) {
+      auto slot = std::make_unique<WorkerSlot>();
+      slot->index = next_worker_index_++;
+      slot->thread = std::thread([this, s = slot.get()] { worker_loop(s); });
+      workers_.push_back(std::move(slot));
+    }
+  }
+  // The maintenance thread earns its keep only when something needs
+  // periodic attention: quarantine probes or the worker watchdog.
+  if (resilience_on_ &&
+      (quarantine_.enabled() || options_.stuck_worker_ms > 0))
+    maintenance_ = std::thread([this] { maintenance_loop(); });
 }
 
 DistanceService::~DistanceService() { stop(); }
@@ -109,24 +163,67 @@ DistanceService::~DistanceService() { stop(); }
 void DistanceService::stop() {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stopping_ && workers_.empty()) return;
+    if (stopping_) {
+      std::lock_guard<std::mutex> workers_lock(workers_mutex_);
+      if (workers_.empty()) return;
+    }
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  // Maintenance first: once it is joined, the worker vector is stable
+  // (no more watchdog replacements) and can be drained safely.
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    maintenance_stop_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  std::vector<std::unique_ptr<WorkerSlot>> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  // Every slot is joined — including retired stuck workers, whose
+  // injected wedge is finite by construction.
+  for (auto& slot : workers) slot->thread.join();
+  // Detach the injector so a later service on the same (shared) reader —
+  // the chaos harness runs clean and faulted passes back-to-back — never
+  // sees a stale pointer once this service's options copy dies.
+  if (options_.fault_injector != nullptr)
+    snapshot_->set_fault_injector(nullptr);
   if (telemetry_ != nullptr) telemetry_->stop();
 }
 
-void DistanceService::worker_loop() {
+void DistanceService::worker_loop(WorkerSlot* slot) {
+  ServeFaultInjector* injector = options_.fault_injector.get();
   for (;;) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this, slot] {
+        return stopping_ || slot->abandoned.load(std::memory_order_relaxed) ||
+               !queue_.empty();
+      });
+      // A retired (ex-stuck) worker stops dequeuing; its replacement
+      // carries the load.  During shutdown it drains like any other.
+      if (slot->abandoned.load(std::memory_order_relaxed) && !stopping_)
+        return;
       if (queue_.empty()) return;  // stopping_ and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
+    }
+    slot->busy_since_us.store(steady_micros_now(),
+                              std::memory_order_release);
+    const std::int64_t job_index = slot->jobs++;
+    if (injector != nullptr) {
+      // A "stuck worker" is a thread wedged inside a job: the sleep sits
+      // where the job body would, after busy_since is set, so the
+      // watchdog sees exactly what it would see in production.
+      const double wedge = injector->stick_seconds(slot->index, job_index);
+      if (wedge > 0) {
+        registry_.counter_add("serve.fault.stuck_worker");
+        std::this_thread::sleep_for(std::chrono::duration<double>(wedge));
+      }
     }
     const bool expired = Clock::now() > job.deadline;
     if (job.trace != nullptr) job.trace->mark_dequeued();
@@ -143,10 +240,126 @@ void DistanceService::worker_loop() {
       ProfScope prof(scope);
       job.run(expired, job.trace.get());
     }
+    slot->busy_since_us.store(0, std::memory_order_release);
     // Routing happens after the reply resolves, but stop() joins this
     // thread, so a drained service always has every trace routed.
     if (job.trace != nullptr) route_trace(std::move(job.trace));
   }
+}
+
+void DistanceService::maintenance_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(maintenance_mutex_);
+      maintenance_cv_.wait_for(
+          lock,
+          std::chrono::duration<double, std::milli>(
+              options_.maintenance_interval_ms),
+          [this] { return maintenance_stop_; });
+      if (maintenance_stop_) return;
+    }
+    if (options_.stuck_worker_ms > 0) check_stuck_workers();
+    if (quarantine_.enabled()) probe_quarantined_tiles();
+    refresh_health();
+  }
+}
+
+void DistanceService::check_stuck_workers() {
+  const std::int64_t now_us = steady_micros_now();
+  const auto threshold_us =
+      static_cast<std::int64_t>(options_.stuck_worker_ms * 1000.0);
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  std::vector<std::unique_ptr<WorkerSlot>> replacements;
+  for (auto& slot : workers_) {
+    if (slot->abandoned.load(std::memory_order_relaxed)) continue;
+    const std::int64_t busy_since =
+        slot->busy_since_us.load(std::memory_order_acquire);
+    if (busy_since == 0 || now_us - busy_since < threshold_us) continue;
+    // Wedged past the threshold: retire the thread (it exits its loop
+    // when — if — it wakes) and restore capacity with a fresh one.
+    slot->abandoned.store(true, std::memory_order_relaxed);
+    registry_.counter_add("serve.worker.stuck");
+    registry_.counter_add("serve.worker.replaced");
+    workers_replaced_.fetch_add(1, std::memory_order_relaxed);
+    auto fresh = std::make_unique<WorkerSlot>();
+    fresh->index = next_worker_index_++;
+    fresh->thread = std::thread([this, s = fresh.get()] { worker_loop(s); });
+    replacements.push_back(std::move(fresh));
+  }
+  for (auto& slot : replacements) workers_.push_back(std::move(slot));
+  // Wake retired workers parked on the queue cv so they notice.
+  if (!replacements.empty()) queue_cv_.notify_all();
+}
+
+void DistanceService::probe_quarantined_tiles() {
+  for (const std::int64_t tile_id :
+       quarantine_.due_for_probe(QuarantineRegistry::Clock::now())) {
+    registry_.counter_add("serve.quarantine.probe");
+    try {
+      DistBlock tile = snapshot_->read_tile(tile_id, nullptr);
+      if (quarantine_.record_success(tile_id))
+        registry_.counter_add("serve.quarantine.exit");
+      // Seed the cache so the first post-recovery request hits.
+      cache_.put(tile_id, std::move(tile));
+    } catch (const TileReadError& e) {
+      registry_.counter_add(fault_counter(e.kind()));
+      quarantine_.record_failure(tile_id);
+    }
+  }
+}
+
+HealthState DistanceService::compute_health() const {
+  if (!resilience_on_) return HealthState::kOk;
+  const QuarantineRegistry::Stats q = quarantine_.stats();
+  int active = 0;
+  int stuck = 0;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    // After stop() the pool is gone; "no live workers" then means
+    // "stopped", not "unhealthy".  Report the last live verdict so a
+    // post-run summary reflects how the service ended, not its teardown
+    // (the /healthz endpoint answers 503 "stopping" separately).
+    if (workers_.empty())
+      return static_cast<HealthState>(
+          health_.load(std::memory_order_relaxed));
+    for (const auto& slot : workers_) {
+      if (!slot->abandoned.load(std::memory_order_relaxed))
+        ++active;
+      else if (slot->busy_since_us.load(std::memory_order_acquire) != 0)
+        ++stuck;
+    }
+  }
+  const std::int64_t tiles = snapshot_->header().num_tiles();
+  // Unhealthy: half the tile space dark, or no live workers — exact
+  // answers are no longer the common case, so shed to protect the error
+  // budget.  Degraded: anything quarantined or wedged, answers still
+  // exact for every healthy tile.
+  if (tiles > 0 && q.active * 2 >= tiles) return HealthState::kUnhealthy;
+  if (active == 0) return HealthState::kUnhealthy;
+  if (q.active > 0 || stuck > 0) return HealthState::kDegraded;
+  return HealthState::kOk;
+}
+
+void DistanceService::refresh_health() {
+  const HealthState health = compute_health();
+  health_.store(static_cast<int>(health), std::memory_order_relaxed);
+  registry_.gauge_set("serve.health", static_cast<double>(health));
+  registry_.gauge_set("serve.quarantine.active",
+                      static_cast<double>(quarantine_.stats().active));
+}
+
+DistanceService::WorkerStats DistanceService::worker_stats() const {
+  WorkerStats stats;
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (const auto& slot : workers_) {
+    if (!slot->abandoned.load(std::memory_order_relaxed))
+      ++stats.active;
+    else if (slot->busy_since_us.load(std::memory_order_acquire) != 0)
+      ++stats.stuck;
+  }
+  stats.spawned = static_cast<std::int64_t>(workers_.size());
+  stats.replaced = workers_replaced_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 DistanceService::Clock::time_point DistanceService::deadline_from(
@@ -163,10 +376,19 @@ bool DistanceService::submit(Job job,
                              const std::function<void(ServeError)>& reject) {
   registry_.counter_add(std::string("serve.request.") + job.kind);
   ServeError verdict = ServeError::kOk;
+  // Fault-aware shedding: while unhealthy (cached by the maintenance
+  // thread), refuse new work up front — a fast structured "degraded"
+  // spends far less error budget than a slow failure per request.
+  const bool shedding =
+      resilience_on_ && options_.shed_when_unhealthy &&
+      health_.load(std::memory_order_relaxed) ==
+          static_cast<int>(HealthState::kUnhealthy);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
       verdict = ServeError::kShutdown;
+    } else if (shedding) {
+      verdict = ServeError::kDegraded;
     } else if (queue_.size() >= options_.max_queue) {
       verdict = ServeError::kOverloaded;
     } else {
@@ -213,56 +435,138 @@ void DistanceService::route_trace(std::shared_ptr<RequestTrace> trace) {
 std::shared_ptr<const DistBlock> DistanceService::fetch_tile(
     std::int64_t tile_id, RequestTrace* trace) {
   if (auto tile = cache_.get(tile_id, trace)) return tile;
-  // Cache miss: the fill path (snapshot read + insert) gets its own
-  // profiling scope, with bytes for the memory-roofline axis.
-  ProfScope prof("serve.tile_fill");
-  DistBlock loaded = snapshot_->read_tile(tile_id, trace);
-  const std::int64_t bytes =
-      loaded.size() * static_cast<std::int64_t>(sizeof(Dist));
-  prof.add_bytes(bytes);
-  registry_.counter_add("serve.io.tiles_loaded");
-  registry_.counter_add("serve.io.bytes_read", bytes);
-  return cache_.put(tile_id, std::move(loaded));
+  if (!resilience_on_) {
+    // Legacy contract: a read failure propagates out of the worker.
+    // The cache miss fill path (snapshot read + insert) gets its own
+    // profiling scope, with bytes for the memory-roofline axis.
+    ProfScope prof("serve.tile_fill");
+    DistBlock loaded = snapshot_->read_tile(tile_id, trace);
+    const std::int64_t bytes =
+        loaded.size() * static_cast<std::int64_t>(sizeof(Dist));
+    prof.add_bytes(bytes);
+    registry_.counter_add("serve.io.tiles_loaded");
+    registry_.counter_add("serve.io.bytes_read", bytes);
+    return cache_.put(tile_id, std::move(loaded));
+  }
+  // Quarantine gate: a known-bad tile fails fast instead of burning a
+  // retry ladder per request on a dead sector.  A kProbe verdict means
+  // this request is the sanctioned probe and proceeds to the disk.
+  switch (quarantine_.admit(tile_id)) {
+    case QuarantineRegistry::Admission::kBlocked: {
+      registry_.counter_add("serve.quarantine.blocked");
+      ScopedSpan span(trace, "tile.quarantine_blocked");
+      span.detail("tile", tile_id);
+      return nullptr;
+    }
+    case QuarantineRegistry::Admission::kProbe:
+      registry_.counter_add("serve.quarantine.probe");
+      break;
+    case QuarantineRegistry::Admission::kAllow:
+      break;
+  }
+  return fetch_tile_with_retries(tile_id, trace);
 }
 
-Dist DistanceService::lookup(Vertex u, Vertex v, RequestTrace* trace) {
+std::shared_ptr<const DistBlock> DistanceService::fetch_tile_with_retries(
+    std::int64_t tile_id, RequestTrace* trace) {
+  ProfScope prof("serve.tile_fill");
+  for (int attempt = 0;; ++attempt) {
+    try {
+      DistBlock loaded = snapshot_->read_tile(tile_id, trace);
+      if (attempt > 0) registry_.counter_add("serve.retry.success");
+      if (quarantine_.record_success(tile_id)) {
+        registry_.counter_add("serve.quarantine.exit");
+        refresh_health();
+      }
+      const std::int64_t bytes =
+          loaded.size() * static_cast<std::int64_t>(sizeof(Dist));
+      prof.add_bytes(bytes);
+      registry_.counter_add("serve.io.tiles_loaded");
+      registry_.counter_add("serve.io.bytes_read", bytes);
+      return cache_.put(tile_id, std::move(loaded));
+    } catch (const TileReadError& e) {
+      registry_.counter_add(fault_counter(e.kind()));
+      if (attempt + 1 >= options_.retry.max_attempts) {
+        registry_.counter_add("serve.retry.exhausted");
+        if (quarantine_.record_failure(tile_id)) {
+          registry_.counter_add("serve.quarantine.enter");
+          refresh_health();
+        }
+        return nullptr;
+      }
+      registry_.counter_add("serve.retry.attempts");
+      const double backoff_ms =
+          retry_backoff_ms(options_.retry, attempt, backoff_rng());
+      registry_.observe("serve.retry.backoff_ms", backoff_ms);
+      ScopedSpan span(trace, "tile.retry");
+      span.detail("tile", tile_id);
+      span.detail("attempt", attempt + 1);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+}
+
+bool DistanceService::lookup(Vertex u, Vertex v, RequestTrace* trace,
+                             Dist* out) {
   const std::int64_t t = snapshot_->header().tile_dim;
   const std::int64_t tr = u / t, tc = v / t;
   const auto tile = fetch_tile(snapshot_->header().tile_id(tr, tc), trace);
-  return tile->at(u - tr * t, v - tc * t);
+  if (tile == nullptr) return false;
+  *out = tile->at(u - tr * t, v - tc * t);
+  return true;
+}
+
+Dist DistanceService::lookup_or_throw(Vertex u, Vertex v,
+                                      RequestTrace* trace) {
+  Dist d = kInf;
+  if (!lookup(u, v, trace, &d)) {
+    const std::int64_t t = snapshot_->header().tile_dim;
+    throw DegradedTile{snapshot_->header().tile_id(u / t, v / t)};
+  }
+  return d;
 }
 
 DistanceReply DistanceService::do_distance(Vertex u, Vertex v,
                                            RequestTrace* trace) {
-  return {ServeError::kOk, lookup(u, v, trace)};
+  Dist d = kInf;
+  if (!lookup(u, v, trace, &d)) return {ServeError::kDegraded, kInf};
+  return {ServeError::kOk, d};
 }
 
 PathReply DistanceService::do_path(Vertex u, Vertex v,
                                    Clock::time_point deadline,
                                    RequestTrace* trace) {
   PathReply reply;
-  reply.distance = lookup(u, v, trace);
-  if (is_inf(reply.distance)) return reply;  // unreachable: ok, empty path
-  const auto dist_fn = [this, trace](Vertex a, Vertex b) {
-    return lookup(a, b, trace);
-  };
-  std::vector<Vertex> path{u};
-  Vertex cursor = u;
-  for (Vertex steps = 0; cursor != v; ++steps) {
-    if (Clock::now() > deadline) {
-      reply.error = ServeError::kDeadlineExceeded;
-      return reply;
+  try {
+    reply.distance = lookup_or_throw(u, v, trace);
+    if (is_inf(reply.distance)) return reply;  // unreachable: ok, empty path
+    const auto dist_fn = [this, trace](Vertex a, Vertex b) {
+      return lookup_or_throw(a, b, trace);
+    };
+    std::vector<Vertex> path{u};
+    Vertex cursor = u;
+    for (Vertex steps = 0; cursor != v; ++steps) {
+      if (Clock::now() > deadline) {
+        reply.error = ServeError::kDeadlineExceeded;
+        return reply;
+      }
+      CAPSP_CHECK_MSG(steps < graph_.num_vertices(),
+                      "path reconstruction looped; inconsistent inputs");
+      ScopedSpan hop(trace, "path.hop");
+      hop.detail("from", cursor);
+      cursor = next_hop_via(graph_, cursor, v, dist_fn);
+      path.push_back(cursor);
     }
-    CAPSP_CHECK_MSG(steps < graph_.num_vertices(),
-                    "path reconstruction looped; inconsistent inputs");
-    ScopedSpan hop(trace, "path.hop");
-    hop.detail("from", cursor);
-    cursor = next_hop_via(graph_, cursor, v, dist_fn);
-    path.push_back(cursor);
+    registry_.observe("serve.path.hops",
+                      static_cast<double>(path.size() - 1));
+    reply.path = std::move(path);
+  } catch (const DegradedTile&) {
+    // Never a partial path: a hop that cannot be verified degrades the
+    // whole reply, so every kOk path stays bit-exact.
+    reply = PathReply{};
+    reply.error = ServeError::kDegraded;
   }
-  registry_.observe("serve.path.hops",
-                    static_cast<double>(path.size() - 1));
-  reply.path = std::move(path);
   return reply;
 }
 
@@ -283,6 +587,14 @@ KNearestReply DistanceService::do_k_nearest(Vertex u, int k,
       return reply;
     }
     const auto tile = fetch_tile(h.tile_id(tr, tc), trace);
+    if (tile == nullptr) {
+      // k-nearest scans the whole row; any dark tile could hide a
+      // nearer vertex, so the reply degrades rather than silently
+      // returning a wrong top-k.
+      reply.nearest.clear();
+      reply.error = ServeError::kDegraded;
+      return reply;
+    }
     const std::int64_t row = u - tr * t;
     for (std::int64_t c = 0; c < tile->cols(); ++c) {
       const auto v = static_cast<Vertex>(tc * t + c);
@@ -449,13 +761,15 @@ void DistanceService::write_summary_fields(JsonWriter& json) const {
   const std::int64_t overloaded = counter("serve.request.overloaded");
   const std::int64_t expired = counter("serve.request.deadline_exceeded");
   const std::int64_t shutdown = counter("serve.request.shutdown");
+  const std::int64_t degraded = counter("serve.request.degraded");
   json.key("requests");
   json.begin_object();
-  json.field("total", ok + overloaded + expired + shutdown);
+  json.field("total", ok + overloaded + expired + shutdown + degraded);
   json.field("ok", ok);
   json.field("overloaded", overloaded);
   json.field("deadline_exceeded", expired);
   json.field("shutdown", shutdown);
+  json.field("degraded", degraded);
   json.field("distance", counter("serve.request.distance"));
   json.field("path", counter("serve.request.path"));
   json.field("knear", counter("serve.request.knear"));
@@ -534,6 +848,65 @@ void DistanceService::write_summary_fields(JsonWriter& json) const {
   json.field("dropped", traces.dropped);
   json.end_object();
 
+  // Resilience posture (docs/robustness.md): health, retry/quarantine
+  // ledgers, worker-watchdog outcomes, and — under chaos — what the
+  // injector actually did (vs. the serve.fault.* counters, which are
+  // what the service observed).
+  json.key("resilience");
+  json.begin_object();
+  json.field("enabled", resilience_on_);
+  json.field("health", to_string(compute_health()));
+  json.key("retry");
+  json.begin_object();
+  json.field("max_attempts", options_.retry.max_attempts);
+  json.field("attempts", counter("serve.retry.attempts"));
+  json.field("success", counter("serve.retry.success"));
+  json.field("exhausted", counter("serve.retry.exhausted"));
+  json.end_object();
+  const QuarantineRegistry::Stats q = quarantine_.stats();
+  json.key("quarantine");
+  json.begin_object();
+  json.field("threshold", options_.quarantine.threshold);
+  json.field("cooldown_ms", options_.quarantine.cooldown_ms);
+  json.field("active", q.active);
+  json.field("enters", q.enters);
+  json.field("exits", q.exits);
+  json.field("blocked", q.blocked);
+  json.field("probes", q.probes);
+  json.end_object();
+  const WorkerStats workers = worker_stats();
+  json.key("workers");
+  json.begin_object();
+  json.field("active", workers.active);
+  json.field("stuck", workers.stuck);
+  json.field("spawned", workers.spawned);
+  json.field("replaced", workers.replaced);
+  json.field("stuck_threshold_ms", options_.stuck_worker_ms);
+  json.end_object();
+  json.key("faults_observed");
+  json.begin_object();
+  json.field("io", counter("serve.fault.io"));
+  json.field("checksum", counter("serve.fault.checksum"));
+  json.field("alloc", counter("serve.fault.alloc"));
+  json.field("stuck_worker", counter("serve.fault.stuck_worker"));
+  json.end_object();
+  if (options_.fault_injector != nullptr) {
+    const ServeFaultInjector::Counts injected =
+        options_.fault_injector->counts();
+    json.field("fault_plan", options_.fault_injector->plan().to_string());
+    json.key("faults_injected");
+    json.begin_object();
+    json.field("eio", injected.eio);
+    json.field("eintr", injected.eintr);
+    json.field("short_reads", injected.short_reads);
+    json.field("flips", injected.flips);
+    json.field("delays", injected.delays);
+    json.field("allocs", injected.allocs);
+    json.field("sticks", injected.sticks);
+    json.end_object();
+  }
+  json.end_object();
+
   // Live profiler status: /profile returns the full report at the end of
   // a window; /stats.json only says whether one is in flight.
   const Profiler::Status prof_status = Profiler::global().status();
@@ -567,10 +940,17 @@ int DistanceService::start_telemetry(int port) {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       stopping = stopping_;
     }
-    return stopping ? TelemetryResponse{503, "text/plain; charset=utf-8",
-                                        "stopping\n"}
-                    : TelemetryResponse{200, "text/plain; charset=utf-8",
-                                        "ok\n"};
+    if (stopping)
+      return TelemetryResponse{503, "text/plain; charset=utf-8",
+                               "stopping\n"};
+    // Tri-state health (docs/robustness.md): degraded still answers
+    // 200 — it is serving exact answers for every healthy tile — while
+    // unhealthy is a load-balancer-visible 503.
+    const HealthState health = compute_health();
+    const std::string body = std::string(to_string(health)) + "\n";
+    return TelemetryResponse{
+        health == HealthState::kUnhealthy ? 503 : 200,
+        "text/plain; charset=utf-8", body};
   });
   telemetry_->handle("/stats.json", [this](const std::string&) {
     std::ostringstream out;

@@ -47,6 +47,8 @@
 #include "graph/graph.hpp"
 #include "serve/cache.hpp"
 #include "serve/reqtrace.hpp"
+#include "serve/resilience.hpp"
+#include "serve/servefault.hpp"
 #include "serve/slo.hpp"
 #include "serve/snapshot.hpp"
 #include "util/metrics.hpp"
@@ -64,6 +66,9 @@ enum class ServeError {
   kOverloaded,        ///< queue was at max_queue when the request arrived
   kDeadlineExceeded,  ///< deadline passed while queued or mid-computation
   kShutdown,          ///< submitted after stop()
+  kDegraded,          ///< a tile the answer needs is quarantined /
+                      ///< unreadable, or the service is shedding while
+                      ///< unhealthy — never a silently wrong answer
 };
 
 const char* to_string(ServeError error);
@@ -97,6 +102,30 @@ struct ServeOptions {
 
   /// Latency/availability objectives (serve/slo).
   SloOptions slo;
+
+  /// Fault tolerance (serve/resilience, docs/robustness.md).  On by
+  /// default: with a healthy disk the only cost is one quarantine-map
+  /// lookup per cache miss.  Off = the pre-resilience contract, where a
+  /// tile-read failure propagates out of the worker.
+  bool resilience = true;
+  /// Bounded exponential backoff for failed tile reads.
+  RetryOptions retry;
+  /// Per-tile quarantine after consecutive fetch failures.
+  QuarantineOptions quarantine;
+  /// Watchdog: a worker busy on one job longer than this is declared
+  /// stuck, abandoned, and replaced (0 = watchdog off).  Pair it with
+  /// deadlines well below it — the watchdog is for wedged threads, not
+  /// slow queries.
+  double stuck_worker_ms = 0;
+  /// Cadence of the maintenance thread (watchdog scan + quarantine
+  /// probes + health refresh).
+  double maintenance_interval_ms = 20;
+  /// Reject new work with kDegraded while health is kUnhealthy, instead
+  /// of burning the whole error budget on requests that will fail anyway.
+  bool shed_when_unhealthy = true;
+  /// Chaos hook (serve/servefault): wired into the snapshot reader at
+  /// construction.  nullptr = no injection.
+  std::shared_ptr<ServeFaultInjector> fault_injector;
 };
 
 struct DistanceReply {
@@ -166,6 +195,20 @@ class DistanceService {
   std::vector<TileCache::Stats> cache_shard_stats() const {
     return cache_.shard_stats();
   }
+  /// Current health (docs/robustness.md): kOk, kDegraded (quarantined
+  /// tiles or a wedged worker; answers still exact), kUnhealthy
+  /// (shedding).  /healthz serves this as its body, 503 when unhealthy.
+  HealthState health() const { return compute_health(); }
+  QuarantineRegistry::Stats quarantine_stats() const {
+    return quarantine_.stats();
+  }
+  struct WorkerStats {
+    int active = 0;        ///< workers currently serving the queue
+    int stuck = 0;         ///< abandoned workers still wedged on a job
+    std::int64_t spawned = 0;
+    std::int64_t replaced = 0;
+  };
+  WorkerStats worker_stats() const;
   /// Snapshot of the service's own registry (`serve.*` metrics).
   MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
 
@@ -212,18 +255,50 @@ class DistanceService {
     std::function<void(bool expired, RequestTrace* trace)> run;
   };
 
+  /// One worker thread's identity and liveness state.  The thread only
+  /// ever touches its own slot; the watchdog reads the atomics.
+  struct WorkerSlot {
+    int index = 0;  ///< spawn index (stable; what stuck=W@J:S targets)
+    std::thread thread;
+    /// Steady micros when the current job was dequeued; 0 = idle.
+    std::atomic<std::int64_t> busy_since_us{0};
+    /// Set by the watchdog: finish the current job, then retire.
+    std::atomic<bool> abandoned{false};
+    std::int64_t jobs = 0;  ///< dequeued-job counter (own thread only)
+  };
+
   /// Admission control + enqueue; returns false (after failing the
   /// promise via `reject`) when overloaded or stopped.
   bool submit(Job job, const std::function<void(ServeError)>& reject);
-  void worker_loop();
+  void worker_loop(WorkerSlot* slot);
+  void maintenance_loop();
+  /// Scan for workers wedged past stuck_worker_ms; abandon and replace.
+  void check_stuck_workers();
+  /// Background re-probe of quarantined tiles whose cooldown elapsed.
+  void probe_quarantined_tiles();
+  HealthState compute_health() const;
+  /// Recompute health into the cached atomic + serve.health gauge.
+  void refresh_health();
   Clock::time_point deadline_from(double deadline_seconds,
                                   Clock::time_point now) const;
 
-  /// Tile fetch through the cache; counts IO metrics on miss.
+  /// Tile fetch through the cache; counts IO metrics on miss.  With
+  /// resilience on, a miss runs the retry ladder against the snapshot
+  /// and consults the quarantine registry; nullptr means the tile is
+  /// unavailable right now (quarantined or retries exhausted) and the
+  /// request must degrade.  With resilience off a read failure
+  /// propagates, as before this machinery existed.
   std::shared_ptr<const DistBlock> fetch_tile(std::int64_t tile_id,
                                               RequestTrace* trace);
-  /// One matrix entry via its tile.
-  Dist lookup(Vertex u, Vertex v, RequestTrace* trace);
+  /// One read attempt cycle: cache put on success, metrics + quarantine
+  /// bookkeeping on both sides.
+  std::shared_ptr<const DistBlock> fetch_tile_with_retries(
+      std::int64_t tile_id, RequestTrace* trace);
+  /// One matrix entry via its tile; false = tile unavailable (degraded).
+  bool lookup(Vertex u, Vertex v, RequestTrace* trace, Dist* out);
+  /// lookup() that throws DegradedTile on unavailability — for call
+  /// sites (path reconstruction) threaded through DistFn.
+  Dist lookup_or_throw(Vertex u, Vertex v, RequestTrace* trace);
 
   DistanceReply do_distance(Vertex u, Vertex v, RequestTrace* trace);
   PathReply do_path(Vertex u, Vertex v, Clock::time_point deadline,
@@ -252,11 +327,29 @@ class DistanceService {
   RollingHistogram error_window_;
   std::unique_ptr<TelemetryServer> telemetry_;
 
+  // Resilience state (serve/resilience).  health_ is a cache of
+  // compute_health() so admission control reads one atomic, refreshed by
+  // the maintenance thread and on quarantine transitions.
+  bool resilience_on_ = false;
+  QuarantineRegistry quarantine_;
+  std::atomic<int> health_{static_cast<int>(HealthState::kOk)};
+  std::atomic<std::int64_t> workers_replaced_{0};
+
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  // Worker slots; unique_ptr so the atomics stay put when the watchdog
+  // appends replacements.  Guarded by workers_mutex_ (not queue_mutex_:
+  // the watchdog must scan while workers hold jobs).
+  mutable std::mutex workers_mutex_;
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+  int next_worker_index_ = 0;
+
+  std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;
+  bool maintenance_stop_ = false;
+  std::thread maintenance_;
 };
 
 }  // namespace capsp

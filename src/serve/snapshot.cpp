@@ -1,11 +1,21 @@
 #include "serve/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "machine/reliable.hpp"
 #include "semiring/block_io.hpp"
 #include "serve/reqtrace.hpp"
+#include "serve/resilience.hpp"
+#include "serve/servefault.hpp"
 #include "util/check.hpp"
 #include "util/prof.hpp"
 
@@ -155,7 +165,8 @@ void upgrade_snapshot(const std::string& db1_path,
 }
 
 SnapshotReader::SnapshotReader(const std::string& path,
-                               std::int64_t legacy_tile_dim) {
+                               std::int64_t legacy_tile_dim)
+    : path_(path) {
   std::ifstream is(path, std::ios::binary);
   CAPSP_CHECK_MSG(is.good(), "cannot open " << path);
   is.seekg(0, std::ios::end);
@@ -179,8 +190,9 @@ SnapshotReader::SnapshotReader(const std::string& path,
   check_header_sane(header_, path);
   open_tiled(is, file_size);
   is.close();
-  file_.open(path, std::ios::binary);
-  CAPSP_CHECK_MSG(file_.good(), "cannot reopen " << path);
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  CAPSP_CHECK_MSG(fd_ >= 0, "cannot reopen " << path << ": "
+                                             << std::strerror(errno));
   file_backed_ = true;
 }
 
@@ -190,7 +202,11 @@ SnapshotReader::SnapshotReader(DistBlock matrix, std::int64_t tile_dim)
   header_ = {matrix_.rows(), matrix_.cols(), tile_dim};
 }
 
-void SnapshotReader::open_tiled(std::ifstream& is, std::int64_t file_size) {
+SnapshotReader::~SnapshotReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SnapshotReader::open_tiled(std::istream& is, std::int64_t file_size) {
   const std::int64_t tiles = header_.num_tiles();
   offsets_.resize(static_cast<std::size_t>(tiles));
   checksums_.resize(static_cast<std::size_t>(tiles));
@@ -241,24 +257,75 @@ DistBlock SnapshotReader::read_tile(std::int64_t tile_id,
                              header_.tile_row_dim(tr),
                              header_.tile_col_dim(tc));
   }
+  // One injector consultation per read attempt; everything below honors
+  // the verdict.  kEintr/kShort are exercised *through* pread_exact's
+  // retry loop, so they are invisible to callers — which is the point.
+  using ReadFault = ServeFaultInjector::ReadFault;
+  const ReadFault verdict =
+      fault_ != nullptr ? fault_->next_read_fault(tile_id) : ReadFault::kNone;
+  if (verdict == ReadFault::kDelay)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(fault_->delay_seconds()));
+  if (verdict == ReadFault::kEio) {
+    std::ostringstream what;
+    what << "snapshot tile " << tile_id << " read failed: injected EIO ("
+         << path_ << ")";
+    throw TileReadError(TileReadError::Kind::kIo, tile_id, what.str());
+  }
+  if (fault_ != nullptr && fault_->next_alloc_fails(tile_id)) {
+    std::ostringstream what;
+    what << "snapshot tile " << tile_id
+         << " buffer allocation failed (injected)";
+    throw TileReadError(TileReadError::Kind::kAlloc, tile_id, what.str());
+  }
   DistBlock tile(header_.tile_row_dim(tr), header_.tile_col_dim(tc));
   {
     ScopedSpan span(trace, "tile.snapshot_read");
     span.detail("tile", tile_id);
-    std::lock_guard<std::mutex> lock(io_mutex_);
-    file_.seekg(offsets_[static_cast<std::size_t>(tile_id)]);
-    read_exact_bytes(file_, tile.data().data(),
-                     static_cast<std::streamsize>(tile.data().size() *
-                                                  sizeof(Dist)),
-                     "snapshot tile payload");
+    PreadFn pread_fn;  // empty = the real pread
+    int injected_once = 0;
+    if (verdict == ReadFault::kEintr) {
+      pread_fn = [&injected_once](int fd, void* buf, std::size_t count,
+                                  std::int64_t offset) -> long {
+        if (injected_once++ == 0) {
+          errno = EINTR;
+          return -1;
+        }
+        return static_cast<long>(::pread(fd, buf, count, offset));
+      };
+    } else if (verdict == ReadFault::kShort) {
+      pread_fn = [&injected_once](int fd, void* buf, std::size_t count,
+                                  std::int64_t offset) -> long {
+        if (injected_once++ == 0 && count > 1) count /= 2;
+        return static_cast<long>(::pread(fd, buf, count, offset));
+      };
+    }
+    try {
+      pread_exact(fd_, tile.data().data(),
+                  static_cast<std::int64_t>(tile.data().size() *
+                                            sizeof(Dist)),
+                  offsets_[static_cast<std::size_t>(tile_id)],
+                  "snapshot tile payload", pread_fn);
+    } catch (const check_error& e) {
+      // Truncation or a hard errno: recoverable from the service's point
+      // of view (retry, then quarantine the tile), so narrow the type.
+      std::ostringstream what;
+      what << "snapshot tile " << tile_id << " read failed: " << e.what();
+      throw TileReadError(TileReadError::Kind::kIo, tile_id, what.str());
+    }
   }
+  if (verdict == ReadFault::kFlip)
+    fault_->flip_payload(tile_id, tile.data());
   ScopedSpan span(trace, "tile.checksum");
   span.detail("tile", tile_id);
-  CAPSP_CHECK_MSG(
-      frame_checksum(tile_id, tile.data()) ==
-          static_cast<std::uint64_t>(
-              checksums_[static_cast<std::size_t>(tile_id)]),
-      "snapshot tile " << tile_id << " failed its checksum (corrupt file)");
+  if (frame_checksum(tile_id, tile.data()) !=
+      static_cast<std::uint64_t>(
+          checksums_[static_cast<std::size_t>(tile_id)])) {
+    std::ostringstream what;
+    what << "snapshot tile " << tile_id
+         << " failed its checksum (corrupt file)";
+    throw TileReadError(TileReadError::Kind::kChecksum, tile_id, what.str());
+  }
   return tile;
 }
 

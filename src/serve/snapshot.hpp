@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,7 @@
 namespace capsp {
 
 class RequestTrace;
+class ServeFaultInjector;
 
 inline constexpr std::int64_t kDefaultTileDim = 64;
 
@@ -108,8 +108,18 @@ void upgrade_snapshot(const std::string& db1_path, const std::string& db2_path,
 ///   * in-memory — a DistBlock tiled virtually, used for CAPSPDB1 files
 ///     (kept readable per the format's compatibility promise) and for
 ///     serving a freshly computed matrix without touching disk.
-/// `read_tile` is thread-safe (the workers of a DistanceService share one
-/// reader); each call returns a fresh tile so callers own what they cache.
+/// `read_tile` is thread-safe with no shared cursor (positional pread on
+/// the file-backed path — see docs/robustness.md), so the workers of a
+/// DistanceService share one reader without serializing their IO; each
+/// call returns a fresh tile so callers own what they cache.
+///
+/// Failure contract: structural problems found at *open* (bad magic,
+/// corrupt index, wrong file size) CHECK-fail — a malformed snapshot is
+/// refused, not served.  A *per-read* failure (pread error, unexpected
+/// EOF, checksum mismatch, injected fault) throws TileReadError
+/// (serve/resilience), which the service's fetch path retries and
+/// quarantines; TileReadError derives from check_error, so callers that
+/// treat any failure as fatal keep their old behavior.
 class SnapshotReader {
  public:
   /// Open `path`, dispatching on the magic: CAPSPDB2 → file-backed,
@@ -120,6 +130,7 @@ class SnapshotReader {
   /// Serve an in-memory matrix (no file involved).
   SnapshotReader(DistBlock matrix, std::int64_t tile_dim = kDefaultTileDim);
 
+  ~SnapshotReader();
   SnapshotReader(const SnapshotReader&) = delete;
   SnapshotReader& operator=(const SnapshotReader&) = delete;
 
@@ -127,6 +138,14 @@ class SnapshotReader {
   /// True when tiles are faulted in from a CAPSPDB2 file (false for the
   /// in-memory / legacy-DB1 backings, which are fully resident anyway).
   bool file_backed() const { return file_backed_; }
+
+  /// Install a fault injector (serve/servefault) consulted on every
+  /// file-backed read attempt; nullptr (the default) disables injection
+  /// at zero cost.  Not owned; must outlive the reader.  The in-memory
+  /// backing has no IO to fault and ignores it.
+  void set_fault_injector(ServeFaultInjector* injector) {
+    fault_ = injector;
+  }
 
   /// Payload bytes of one tile (what a cache should charge for it).
   std::int64_t tile_bytes(std::int64_t tile_id) const;
@@ -141,14 +160,15 @@ class SnapshotReader {
   }
 
  private:
-  void open_tiled(std::ifstream& is, std::int64_t file_size);
+  void open_tiled(std::istream& is, std::int64_t file_size);
 
   SnapshotHeader header_;
+  std::string path_;
   bool file_backed_ = false;
-  // File-backed state: the stream is shared by worker threads, so seeks
-  // and reads happen under the mutex.
-  mutable std::mutex io_mutex_;
-  mutable std::ifstream file_;
+  // File-backed state: a plain fd read with pread, so no cursor and no
+  // lock is shared between worker threads.
+  int fd_ = -1;
+  ServeFaultInjector* fault_ = nullptr;
   std::vector<std::int64_t> offsets_;
   std::vector<std::int64_t> checksums_;
   // In-memory state.

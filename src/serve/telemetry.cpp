@@ -31,6 +31,7 @@ void send_all(int fd, const std::string& data) {
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-send: not an error
     if (n <= 0) return;  // peer went away; telemetry is best-effort
     sent += static_cast<std::size_t>(n);
   }
@@ -120,9 +121,15 @@ void TelemetryServer::serve_loop() {
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
     const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
+    if (ready <= 0) continue;  // timeout, or EINTR — both just re-poll
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      // EINTR (a signal landed) and ECONNABORTED (the client hung up
+      // between connect and accept) are routine on a long-lived listener;
+      // anything else on a valid socket is equally transient at this
+      // traffic level.  Re-poll rather than dropping out or spinning.
+      continue;
+    }
     serve_connection(fd);
     ::close(fd);
   }
@@ -138,7 +145,14 @@ void TelemetryServer::serve_connection(int fd) {
   char buffer[2048];
   while (request.size() < 16 * 1024 &&
          request.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    const long n = recv_fn_
+                       ? recv_fn_(fd, buffer, sizeof(buffer))
+                       : static_cast<long>(::recv(fd, buffer,
+                                                  sizeof(buffer), 0));
+    // A signal interrupting the read is not the client going away: retry
+    // instead of serving a 400 for a perfectly good request.  The
+    // SO_RCVTIMEO above still bounds a genuinely stalled client.
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     request.append(buffer, static_cast<std::size_t>(n));
   }

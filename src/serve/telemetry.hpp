@@ -48,6 +48,13 @@ class TelemetryServer {
   /// ones ignore the argument.
   using Handler = std::function<TelemetryResponse(const std::string& query)>;
 
+  /// Test seam: replaces the raw recv(2) used when reading a request, so
+  /// tests can inject EINTR and transient failures without a real signal
+  /// race.  Install before start().  Same contract as recv: bytes read,
+  /// 0 on EOF, -1 with errno set on failure.
+  using RecvFn = std::function<long(int fd, void* buf, std::size_t len)>;
+  void set_recv_for_test(RecvFn fn) { recv_fn_ = std::move(fn); }
+
   TelemetryServer() = default;
   ~TelemetryServer();
   TelemetryServer(const TelemetryServer&) = delete;
@@ -73,6 +80,7 @@ class TelemetryServer {
   void serve_connection(int fd);
 
   std::map<std::string, Handler> handlers_;
+  RecvFn recv_fn_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <limits>
 #include <sstream>
@@ -532,6 +533,31 @@ TEST(TelemetryServer, QueryStringReachesTheHandler) {
             std::string::npos);
   EXPECT_NE(body_of(http_get(port, "/echo")).find("none\n"),
             std::string::npos);
+}
+
+TEST(TelemetryServer, EintrDuringRecvDoesNotDropTheRequest) {
+  // Regression (docs/robustness.md): a signal landing mid-recv used to
+  // abort the connection; the read loop must retry EINTR and serve the
+  // request as if nothing happened.
+  TelemetryServer server;
+  server.handle("/ok", [](const std::string&) {
+    return TelemetryResponse{200, "text/plain", "fine\n"};
+  });
+  std::atomic<int> interrupted{0};
+  server.set_recv_for_test(
+      [&interrupted](int fd, void* buf, std::size_t len) -> long {
+        // Interrupt the first read of every connection, then behave.
+        if (interrupted.fetch_add(1) % 2 == 0) {
+          errno = EINTR;
+          return -1;
+        }
+        return ::recv(fd, buf, len, 0);
+      });
+  const int port = server.start(0);
+  ASSERT_GT(port, 0);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NE(http_get(port, "/ok").find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_GE(interrupted.load(), 6);  // the fake recv actually interposed
 }
 
 TEST(TelemetryQueryParam, ParsingEdgeCases) {
