@@ -26,6 +26,7 @@
 #include "util/bits.hpp"
 #include "util/buildinfo.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -103,7 +104,7 @@ class BenchJson {
     const std::string path = dir + "/BENCH_" + name_ + ".json";
     std::ofstream out(path);
     if (!out) {
-      std::cerr << "BenchJson: cannot write " << path << "\n";
+      CAPSP_LOG(kError, "bench.json_write_failed", {"path", path});
       return;
     }
     JsonWriter json(out);

@@ -8,6 +8,7 @@ Usage:
     python3 scripts/trace_summary.py reqtrace reqtrace.json [--top K]
     python3 scripts/trace_summary.py prom scrape.txt
     python3 scripts/trace_summary.py prof profile.json|stacks.folded [--top K]
+    python3 scripts/trace_summary.py logs dump.json|logs.jsonl [--last K]
 
 Reads the trace JSON written by `apsp_tool --trace=<file>` (or
 write_chrome_trace), pulls the critical-path decomposition the exporter
@@ -569,10 +570,137 @@ def summarize_folded(path, text, top):
     return 0
 
 
+def summarize_logs(argv):
+    """The `logs` subcommand: render the structured-logging artifacts
+    (docs/observability.md) — a flight-recorder dump ({"flightrec": ...}
+    from a crash/CHECK/deadlock/SIGTERM or /debug/flightrec), a /logs
+    endpoint body ({"logs": ...}), or a JSON-lines sink capture
+    (--log-json stderr).  Prints the dump reason, per-thread event
+    counts, a level histogram, the busiest event names, and the last
+    events before the end — the causal story a post-mortem starts from.
+    Exits non-zero when the file is none of the three shapes or events
+    are structurally broken, so it doubles as the CI validator."""
+    parser = argparse.ArgumentParser(
+        prog="trace_summary.py logs",
+        description="Summarize a flight-recorder dump or JSON log lines.")
+    parser.add_argument("logs",
+                        help="flightrec dump JSON, /logs body, or "
+                             "JSON-lines log capture")
+    parser.add_argument("--last", type=int, default=15,
+                        help="number of final events to print (default 15)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of event names to rank (default 10)")
+    parser.add_argument("--expect-event", action="append", default=[],
+                        help="fail unless an event with this name is "
+                             "present (repeatable; CI assertions)")
+    args = parser.parse_args(argv)
+
+    with open(args.logs) as f:
+        text = f.read()
+
+    events = []
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict) and "flightrec" in doc:
+        rec = doc["flightrec"]
+        threads = rec.get("threads", [])
+        print(f"flight recorder: reason \"{rec.get('reason', '?')}\", "
+              f"pid {rec.get('pid', '?')}, {len(threads)} thread(s), "
+              f"{rec.get('recorded', 0):,} events recorded "
+              f"(ring capacity {rec.get('ring_capacity', '?')})")
+        for thread in threads:
+            if "tid" not in thread or "events" not in thread:
+                print("error: thread entry without tid/events",
+                      file=sys.stderr)
+                return 1
+            live = "live" if thread.get("live") else "parked"
+            print(f"  tid {thread['tid']}: {len(thread['events'])} "
+                  f"event(s) retained ({live})")
+            events.extend(thread["events"])
+    elif isinstance(doc, dict) and "logs" in doc:
+        body = doc["logs"]
+        events = body.get("events", [])
+        print(f"/logs scrape: {body.get('returned', len(events))} of "
+              f"{body.get('recorded', 0):,} recorded events")
+    elif doc is None:
+        # JSON-lines: one log record per line (--log-json sink output).
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                print(f"error: {args.logs} line {number}: not JSON: "
+                      f"{line[:80]}", file=sys.stderr)
+                return 1
+            events.append(record)
+        print(f"json log lines: {len(events)} event(s)")
+    else:
+        print(f"error: {args.logs} is neither a flightrec dump, a /logs "
+              "body, nor JSON log lines", file=sys.stderr)
+        return 1
+
+    for event in events:
+        if "event" not in event or "level" not in event or "ts" not in event:
+            print(f"error: event without ts/level/event keys: {event}",
+                  file=sys.stderr)
+            return 1
+    events.sort(key=lambda e: e["ts"])
+
+    by_level, by_name = {}, {}
+    for event in events:
+        by_level[event["level"]] = by_level.get(event["level"], 0) + 1
+        by_name[event["event"]] = by_name.get(event["event"], 0) + 1
+    if by_level:
+        print("\nby level: " + ", ".join(
+            f"{level} {count}" for level, count in sorted(by_level.items())))
+    if by_name:
+        ranked = sorted(by_name.items(), key=lambda kv: -kv[1])
+        print(f"top {min(args.top, len(ranked))} events:")
+        for name, count in ranked[:args.top]:
+            print(f"  {name:<36} {count:>8}")
+
+    if events:
+        print(f"\nlast {min(args.last, len(events))} events:")
+        for event in events[-args.last:]:
+            context = []
+            if event.get("rank", -1) >= 0:
+                context.append(f"rank={event['rank']}")
+            if event.get("request_id", event.get("req", -1)) >= 0:
+                context.append(
+                    f"req={event.get('request_id', event.get('req'))}")
+            if event.get("phase"):
+                context.append(f"phase={event['phase']}")
+            detail = event.get("detail", "")
+            if not detail and event.get("fields"):
+                detail = " ".join(f"{k}={v}"
+                                  for k, v in event["fields"].items())
+            line = (f"  {event['ts']:.6f} {event['level']:<5} "
+                    f"{event['event']}")
+            if context:
+                line += " [" + " ".join(context) + "]"
+            if detail:
+                line += f" {detail}"
+            print(line)
+
+    missing = [name for name in args.expect_event if name not in by_name]
+    if missing:
+        print("error: expected event(s) never recorded: "
+              + ", ".join(missing), file=sys.stderr)
+        return 1
+    if not events:
+        print("error: no events (did the run log anything at or above "
+              "the ring level?)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     # Subcommand dispatch keeps the original positional-trace CLI intact:
     # only a literal first argument of "metrics", "serve", "reqtrace",
-    # "prom", or "prof" selects the new modes.
+    # "prom", "prof", or "logs" selects the new modes.
     if len(sys.argv) > 1 and sys.argv[1] == "metrics":
         return summarize_metrics(sys.argv[2:])
     if len(sys.argv) > 1 and sys.argv[1] == "serve":
@@ -583,6 +711,8 @@ def main():
         return check_prometheus(sys.argv[2:])
     if len(sys.argv) > 1 and sys.argv[1] == "prof":
         return summarize_prof(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "logs":
+        return summarize_logs(sys.argv[2:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace JSON from apsp_tool --trace")
     parser.add_argument("--top", type=int, default=10,

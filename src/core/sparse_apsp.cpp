@@ -8,6 +8,7 @@
 #include "core/cost_oracle.hpp"
 #include "core/regions.hpp"
 #include "machine/collectives.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/prof.hpp"
 #include "semiring/graph_matrix.hpp"
@@ -339,6 +340,11 @@ void sparse_apsp_rank(Comm& comm, const ApspLayout& layout, DistBlock& local,
     comm.record_compute(ctx.ops - ops_before, label);
     metrics().counter_add(std::string("core.sparse.ops_") + label,
                           ctx.ops - ops_before);
+    // Region completion marker for the flight recorder: a crashed or
+    // deadlocked run's dump shows how far each rank got (the phase
+    // label itself is stamped by set_phase via the log context).
+    CAPSP_LOG(kDebug, "core.sparse.region", {"region", label},
+              {"ops", ctx.ops - ops_before});
   };
   for (int l = 1; l <= tree.height(); ++l) {
     const std::string prefix = "L" + std::to_string(l) + "/";

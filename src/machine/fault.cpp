@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace capsp {
 namespace {
@@ -153,12 +154,17 @@ void FaultInjector::on_op(RankId rank) {
   if (it == plan_.rank_faults.end() || index != it->second.op_index) return;
   if (it->second.stall_seconds > 0) {
     ++state.counts.stalls;
+    CAPSP_LOG(kWarn, "machine.fault.stall", {"rank", rank},
+              {"op_index", index},
+              {"seconds", it->second.stall_seconds});
     std::this_thread::sleep_for(
         std::chrono::duration<double>(it->second.stall_seconds));
     return;
   }
   ++state.counts.kills;
   state.dead.store(true);
+  CAPSP_LOG(kWarn, "machine.fault.kill", {"rank", rank},
+            {"op_index", index});
   throw RankKilledError(rank, index);
 }
 
@@ -169,6 +175,9 @@ FaultDecision FaultInjector::decide(RankId src) {
   double threshold = plan_.drop;
   if (u < threshold) {
     ++state.counts.drops;
+    // Debug (ring-bound, rate-limited): drops are the common chaos
+    // event; the black box wants them, the sink usually does not.
+    CAPSP_LOG(kDebug, "machine.fault.drop", {"src", src});
     return FaultDecision::kDrop;
   }
   threshold += plan_.duplicate;
@@ -179,6 +188,7 @@ FaultDecision FaultInjector::decide(RankId src) {
   threshold += plan_.corrupt;
   if (u < threshold) {
     ++state.counts.corruptions;
+    CAPSP_LOG(kDebug, "machine.fault.corrupt", {"src", src});
     return FaultDecision::kCorrupt;
   }
   threshold += plan_.delay;

@@ -466,6 +466,9 @@ void Machine::run(const std::function<void(Comm&)>& program) {
       Comm& comm = comms[static_cast<std::size_t>(r)];
       const ScopedMetricsSink metrics_sink(
           rank_metrics[static_cast<std::size_t>(r)]);
+      // Correlate this thread's log events / flight-recorder entries
+      // with the simulated rank (docs/observability.md, "Logs").
+      const LogRankScope log_rank(static_cast<std::int32_t>(r));
       try {
         program(comm);
         // A finished rank still owes its delayed frames to the network.

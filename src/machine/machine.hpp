@@ -30,6 +30,7 @@
 #include "machine/watchdog.hpp"
 #include "semiring/block.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace capsp {
 
@@ -61,7 +62,10 @@ class Comm {
   DistBlock recv_block(RankId src, Tag tag, std::int64_t rows,
                        std::int64_t cols);
 
-  /// Label subsequent sends for per-phase volume attribution.
+  /// Label subsequent sends for per-phase volume attribution.  Also
+  /// mirrored into the rank thread's log context (util/log.hpp), so log
+  /// events and flight-recorder dumps carry the same phase labels as
+  /// the trace slices.
   void set_phase(std::string phase) {
     if (tracing_) {
       TraceEvent event;
@@ -71,6 +75,7 @@ class Comm {
       event.before = event.after = cost_.clock;
       trace_.push_back(std::move(event));
     }
+    log_set_phase(phase);
     cost_.current_phase = std::move(phase);
   }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace capsp {
 namespace {
@@ -76,7 +77,11 @@ void ReliableComm::send(RawLink& link, RankId dst, Tag tag,
   const double backoff_cap = 64 * options_.backoff_latency;
   for (int attempt = 0;; ++attempt) {
     ++stats_.frames_sent;
-    if (attempt > 0) ++stats_.retransmissions;
+    if (attempt > 0) {
+      ++stats_.retransmissions;
+      CAPSP_LOG(kDebug, "machine.reliable.retransmit", {"dst", dst},
+                {"tag", tag}, {"seq", seq}, {"attempt", attempt});
+    }
     if (link.transmit(dst, tag, frame, attempt > 0)) {
       ++stats_.acks;
       link.charge(options_.ack_latency, options_.ack_words, "ack");
@@ -84,6 +89,9 @@ void ReliableComm::send(RawLink& link, RankId dst, Tag tag,
     }
     if (attempt >= options_.max_retries) {
       ++stats_.give_ups;
+      CAPSP_LOG(kWarn, "machine.reliable.give_up", {"dst", dst},
+                {"tag", tag}, {"seq", seq},
+                {"transmissions", attempt + 1});
       CAPSP_CHECK_MSG(false, "reliable send to rank "
                                  << dst << " (tag " << tag << ", seq " << seq
                                  << ") gave up after " << attempt + 1

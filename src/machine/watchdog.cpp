@@ -4,6 +4,9 @@
 #include <map>
 #include <sstream>
 
+#include "util/flightrec.hpp"
+#include "util/log.hpp"
+
 namespace capsp {
 
 std::string DeadlockReport::to_string() const {
@@ -35,7 +38,19 @@ std::string DeadlockReport::to_string() const {
 }
 
 DeadlockError::DeadlockError(DeadlockReport r)
-    : check_error(r.to_string()), report(std::move(r)) {}
+    : check_error(r.to_string()), report(std::move(r)) {
+  // Post-mortem: the structured report is the exception payload; the
+  // log event and the flight-recorder dump (when a dump path is
+  // configured) preserve what every rank thread was doing before the
+  // watchdog fired.  kWarn, not kError: tests provoke deadlocks on
+  // purpose and the error path already throws.
+  CAPSP_LOG(kWarn, "machine.deadlock",
+            {"blocked", report.blocked.size()},
+            {"dead", report.dead.size()},
+            {"cycle", report.cycle.size()},
+            {"budget_seconds", report.budget_seconds});
+  flightrec::dump_if_configured("deadlock");
+}
 
 std::vector<RankId> find_wait_cycle(
     const std::vector<BlockedRecv>& blocked) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/log.hpp"
+
 namespace capsp {
 
 double retry_backoff_ms(const RetryOptions& options, int retry_index,
@@ -48,6 +50,8 @@ bool QuarantineRegistry::record_failure(std::int64_t tile_id,
       state.consecutive_failures >= options_.threshold) {
     state.quarantined = true;
     ++enters_;
+    CAPSP_LOG(kWarn, "serve.quarantine.enter", {"tile", tile_id},
+              {"consecutive_failures", state.consecutive_failures});
     return true;
   }
   return false;
@@ -62,7 +66,10 @@ bool QuarantineRegistry::record_success(std::int64_t tile_id) {
   // A healthy tile needs no ledger entry; erasing keeps the map bounded
   // by the number of *currently* suspect tiles.
   tiles_.erase(it);
-  if (exited) ++exits_;
+  if (exited) {
+    ++exits_;
+    CAPSP_LOG(kInfo, "serve.quarantine.exit", {"tile", tile_id});
+  }
   return exited;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace capsp {
 namespace {
@@ -172,11 +173,19 @@ ServeFaultInjector::ReadFault ServeFaultInjector::next_read_fault(
     std::lock_guard<std::mutex> lock(mutex_);
     attempt = read_attempts_[tile_id]++;
   }
+  // Every injected fault is logged at kDebug under one event name, so a
+  // flight-recorder dump of a dying chaos run names the faults that
+  // preceded the death (docs/observability.md).
+  const auto injected = [&](const char* kind, ReadFault fault) {
+    CAPSP_LOG(kDebug, "serve.fault.inject", {"kind", kind},
+              {"tile", tile_id}, {"attempt", attempt});
+    return fault;
+  };
   // The deterministic bad sector overrides the probabilistic draws while
   // its failure budget lasts, then the tile heals.
   if (tile_id == plan_.bad_tile && attempt < plan_.bad_tile_fails) {
     eio_.fetch_add(1, std::memory_order_relaxed);
-    return ReadFault::kEio;
+    return injected("bad_tile_eio", ReadFault::kEio);
   }
   if (plan_.read_error + plan_.eintr + plan_.short_read + plan_.flip +
           plan_.delay <=
@@ -187,27 +196,27 @@ ServeFaultInjector::ReadFault ServeFaultInjector::next_read_fault(
   double threshold = plan_.read_error;
   if (u < threshold) {
     eio_.fetch_add(1, std::memory_order_relaxed);
-    return ReadFault::kEio;
+    return injected("eio", ReadFault::kEio);
   }
   threshold += plan_.eintr;
   if (u < threshold) {
     eintr_.fetch_add(1, std::memory_order_relaxed);
-    return ReadFault::kEintr;
+    return injected("eintr", ReadFault::kEintr);
   }
   threshold += plan_.short_read;
   if (u < threshold) {
     short_reads_.fetch_add(1, std::memory_order_relaxed);
-    return ReadFault::kShort;
+    return injected("short_read", ReadFault::kShort);
   }
   threshold += plan_.flip;
   if (u < threshold) {
     flips_.fetch_add(1, std::memory_order_relaxed);
-    return ReadFault::kFlip;
+    return injected("flip", ReadFault::kFlip);
   }
   threshold += plan_.delay;
   if (u < threshold) {
     delays_.fetch_add(1, std::memory_order_relaxed);
-    return ReadFault::kDelay;
+    return injected("delay", ReadFault::kDelay);
   }
   return ReadFault::kNone;
 }
@@ -222,6 +231,8 @@ bool ServeFaultInjector::next_alloc_fails(std::int64_t tile_id) {
   Rng rng = decision_rng(tile_id, attempt, /*salt=*/0x616c6c6f63ull);
   if (!rng.bernoulli(plan_.alloc)) return false;
   allocs_.fetch_add(1, std::memory_order_relaxed);
+  CAPSP_LOG(kDebug, "serve.fault.inject", {"kind", "alloc"},
+            {"tile", tile_id}, {"attempt", attempt});
   return true;
 }
 
@@ -247,6 +258,9 @@ double ServeFaultInjector::stick_seconds(int worker_index,
   if (it == plan_.stuck.end() || it->second.job_index != job_index)
     return 0;
   sticks_.fetch_add(1, std::memory_order_relaxed);
+  CAPSP_LOG(kWarn, "serve.fault.inject", {"kind", "stuck_worker"},
+            {"worker", worker_index}, {"job_index", job_index},
+            {"seconds", it->second.seconds});
   return it->second.seconds;
 }
 

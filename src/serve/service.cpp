@@ -13,7 +13,9 @@
 #include "serve/telemetry.hpp"
 #include "util/buildinfo.hpp"
 #include "util/check.hpp"
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/procstat.hpp"
 #include "util/prof.hpp"
 #include "util/prometheus.hpp"
@@ -228,6 +230,14 @@ void DistanceService::worker_loop(WorkerSlot* slot) {
     const bool expired = Clock::now() > job.deadline;
     if (job.trace != nullptr) job.trace->mark_dequeued();
     {
+      // Every log/flight-recorder event emitted while this job runs —
+      // including deep inside snapshot reads and fault injections —
+      // carries the request id, so a crash dump names the in-flight
+      // requests (docs/observability.md).
+      const LogRequestScope log_req(
+          job.trace != nullptr ? job.trace->id() : -1);
+      CAPSP_LOG(kTrace, "serve.job.start", {"kind", job.kind},
+                {"worker", slot->index}, {"expired", expired});
       // Scope names must be static literals, so map the job kind rather
       // than concatenating.
       const char* scope = "serve.execute";
@@ -239,6 +249,8 @@ void DistanceService::worker_loop(WorkerSlot* slot) {
         scope = "serve.execute.knear";
       ProfScope prof(scope);
       job.run(expired, job.trace.get());
+      CAPSP_LOG(kTrace, "serve.job.done", {"kind", job.kind},
+                {"worker", slot->index});
     }
     slot->busy_since_us.store(0, std::memory_order_release);
     // Routing happens after the reply resolves, but stop() joins this
@@ -278,11 +290,16 @@ void DistanceService::check_stuck_workers() {
     // Wedged past the threshold: retire the thread (it exits its loop
     // when — if — it wakes) and restore capacity with a fresh one.
     slot->abandoned.store(true, std::memory_order_relaxed);
+    CAPSP_LOG(kWarn, "serve.worker.stuck", {"worker", slot->index},
+              {"busy_us", now_us - busy_since},
+              {"threshold_us", threshold_us});
     registry_.counter_add("serve.worker.stuck");
     registry_.counter_add("serve.worker.replaced");
     workers_replaced_.fetch_add(1, std::memory_order_relaxed);
     auto fresh = std::make_unique<WorkerSlot>();
     fresh->index = next_worker_index_++;
+    CAPSP_LOG(kInfo, "serve.worker.replaced", {"retired", slot->index},
+              {"fresh", fresh->index});
     fresh->thread = std::thread([this, s = fresh.get()] { worker_loop(s); });
     replacements.push_back(std::move(fresh));
   }
@@ -399,6 +416,10 @@ bool DistanceService::submit(Job job,
   }
   if (verdict != ServeError::kOk) {
     const auto now = Clock::now();
+    // Rate-limited by the logger's per-site budget: a shed storm logs a
+    // handful of lines plus a suppressed count, not one line per reject.
+    CAPSP_LOG(kWarn, "serve.request.rejected", {"kind", job.kind},
+              {"verdict", to_string(verdict)});
     registry_.counter_add(outcome_counter(verdict));
     error_window_.observe(1.0, now);
     // Rejections never executed, so they touch only the availability
@@ -453,6 +474,7 @@ std::shared_ptr<const DistBlock> DistanceService::fetch_tile(
   // this request is the sanctioned probe and proceeds to the disk.
   switch (quarantine_.admit(tile_id)) {
     case QuarantineRegistry::Admission::kBlocked: {
+      CAPSP_LOG(kTrace, "serve.quarantine.blocked", {"tile", tile_id});
       registry_.counter_add("serve.quarantine.blocked");
       ScopedSpan span(trace, "tile.quarantine_blocked");
       span.detail("tile", tile_id);
@@ -487,6 +509,8 @@ std::shared_ptr<const DistBlock> DistanceService::fetch_tile_with_retries(
     } catch (const TileReadError& e) {
       registry_.counter_add(fault_counter(e.kind()));
       if (attempt + 1 >= options_.retry.max_attempts) {
+        CAPSP_LOG(kWarn, "serve.retry.exhausted", {"tile", tile_id},
+                  {"attempts", attempt + 1}, {"kind", fault_counter(e.kind())});
         registry_.counter_add("serve.retry.exhausted");
         if (quarantine_.record_failure(tile_id)) {
           registry_.counter_add("serve.quarantine.enter");
@@ -497,6 +521,9 @@ std::shared_ptr<const DistBlock> DistanceService::fetch_tile_with_retries(
       registry_.counter_add("serve.retry.attempts");
       const double backoff_ms =
           retry_backoff_ms(options_.retry, attempt, backoff_rng());
+      CAPSP_LOG(kDebug, "serve.retry", {"tile", tile_id},
+                {"attempt", attempt + 1}, {"backoff_ms", backoff_ms},
+                {"kind", fault_counter(e.kind())});
       registry_.observe("serve.retry.backoff_ms", backoff_ms);
       ScopedSpan span(trace, "tile.retry");
       span.detail("tile", tile_id);
@@ -990,6 +1017,25 @@ int DistanceService::start_telemetry(int port) {
     }
     report.write_folded(out);
     return TelemetryResponse{200, "text/plain; charset=utf-8", out.str()};
+  });
+  // Recent flight-recorder events, merged across threads and sorted by
+  // time: GET /logs[?n=N].  Reads take the per-ring locks (never the
+  // crash path), so scrapes are safe against concurrent recording.
+  telemetry_->handle("/logs", [](const std::string& query) {
+    char* end = nullptr;
+    const std::string n_str = telemetry_query_param(query, "n", "256");
+    const long n = std::strtol(n_str.c_str(), &end, 10);
+    if (end == n_str.c_str() || n <= 0)
+      return TelemetryResponse{400, "text/plain; charset=utf-8",
+                               "bad n parameter\n"};
+    return TelemetryResponse{
+        200, "application/json",
+        flightrec::recent_events_json(static_cast<std::int64_t>(n)) + "\n"};
+  });
+  // Full on-demand black-box dump, same JSON as a crash would write.
+  telemetry_->handle("/debug/flightrec", [](const std::string&) {
+    return TelemetryResponse{200, "application/json",
+                             flightrec::dump_string("on_demand")};
   });
   return telemetry_->start(port);
 }

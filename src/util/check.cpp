@@ -1,0 +1,74 @@
+#include "util/check.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "util/flightrec.hpp"
+#include "util/log.hpp"
+#include "util/prof.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+namespace capsp {
+namespace detail {
+namespace {
+
+std::uint64_t os_thread_id() {
+#if defined(__linux__)
+  return static_cast<std::uint64_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+}  // namespace
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+
+  // Self-locating context: which thread, doing what.  The ProfScope
+  // stack is maintained even without a profiling session (prof.hpp), so
+  // a CHECK deep in a kernel names the kernel.  Reading our own
+  // thread's stack needs no synchronization.
+  os << " [tid " << os_thread_id();
+  prof_detail::ThreadState& state = prof_detail::thread_state();
+  std::int32_t depth = state.depth.load(std::memory_order_relaxed);
+  if (depth > prof_detail::kMaxDepth) depth = prof_detail::kMaxDepth;
+  if (depth > 0) {
+    os << "; scopes:";
+    for (std::int32_t i = 0; i < depth; ++i) {
+      const char* frame = state.frames[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+      os << ' ' << (frame != nullptr ? frame : "?");
+    }
+  }
+  os << ']';
+
+  // Black-box record: the failed expression joins the thread's ring so
+  // a dump written later (or right now, when a dump path is configured)
+  // shows what preceded the failure.
+  const LogThreadContext& context = log_thread_context();
+  flightrec::Event event;
+  event.request_id = context.request_id;
+  event.rank = context.rank;
+  std::memcpy(event.phase, context.phase, sizeof(event.phase));
+  event.file = file;
+  event.event = "check.failed";
+  event.line = line;
+  event.level = static_cast<std::int32_t>(LogLevel::kError);
+  std::strncpy(event.detail, expr, sizeof(event.detail) - 1);
+  flightrec::record(event);
+  flightrec::dump_if_configured("check_failure");
+
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace capsp

@@ -21,13 +21,12 @@ class check_error : public std::logic_error {
 
 namespace detail {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
-  std::ostringstream os;
-  os << file << ':' << line << ": check failed: " << expr;
-  if (!msg.empty()) os << " — " << msg;
-  throw check_error(os.str());
-}
+/// Out of line (util/check.cpp) so failures can gather context this
+/// header cannot depend on: the OS thread id, the active ProfScope
+/// stack (util/prof.hpp), and a flight-recorder event + crash dump when
+/// one is configured (util/flightrec.hpp).
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
 
 }  // namespace detail
 }  // namespace capsp

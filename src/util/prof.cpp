@@ -126,6 +126,7 @@ KernelTable& kernel_table() {
 void ProfScope::enter(const char* name) {
   name_ = name;
   active_ = true;
+  timed_ = prof_enabled();
   prof_detail::ThreadState& ts = prof_detail::thread_state();
   const std::int32_t depth = ts.depth.load(std::memory_order_relaxed);
   if (depth < prof_detail::kMaxDepth)
@@ -133,18 +134,22 @@ void ProfScope::enter(const char* name) {
   // Depth may exceed kMaxDepth (deep recursion): frames beyond the array
   // are not recorded but the counter keeps push/pop balanced.
   ts.depth.store(depth + 1, std::memory_order_release);
-  start_ = Clock::now();
+  // The clock reads stay gated: the always-on part of a scope (the
+  // frame stack, which CHECK failures report) is just the stores above.
+  if (timed_) start_ = Clock::now();
 }
 
 void ProfScope::leave() {
   const double seconds =
-      std::chrono::duration<double>(Clock::now() - start_).count();
+      timed_ ? std::chrono::duration<double>(Clock::now() - start_).count()
+             : 0;
   prof_detail::ThreadState& ts = prof_detail::thread_state();
   const std::int32_t depth = ts.depth.load(std::memory_order_relaxed);
   ts.depth.store(depth - 1, std::memory_order_release);
   // A session may have stopped mid-scope; drop the tail record so the
   // next session starts from a clean table.
-  if (prof_enabled()) kernel_table().record(name_, ops_, bytes_, seconds);
+  if (timed_ && prof_enabled())
+    kernel_table().record(name_, ops_, bytes_, seconds);
 }
 
 // ---------------------------------------------------------------------------

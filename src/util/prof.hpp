@@ -6,9 +6,11 @@
 //  1. ProfScope — RAII markers on the hot paths (min-plus kernels,
 //     superFW levels, serving execute path).  Each thread keeps a
 //     fixed-depth stack of interned scope names in atomics; push/pop is
-//     a couple of relaxed/release stores.  When the profiler is off, a
-//     scope costs one relaxed atomic load and nothing else, so the
-//     markers can stay compiled into release builds.  Scopes on kernel
+//     a couple of relaxed/release stores.  The stack is maintained even
+//     with the profiler off (CAPSP_CHECK failures report it as context,
+//     util/check.cpp); everything beyond those stores — clock reads,
+//     kernel accounting — is skipped, so the markers can stay compiled
+//     into release builds.  Scopes on kernel
 //     paths also report work (`add_ops`/`add_bytes`), which feeds exact
 //     per-kernel throughput accounting (two steady_clock reads per call,
 //     only while profiling).
@@ -86,12 +88,14 @@ inline bool prof_enabled() {
 /// outlive the process) — it is stored by pointer and interned by
 /// identity.  Dot-separated names mirror the metrics convention, e.g.
 /// "semiring.minplus" or "serve.execute.distance".
+///
+/// The frame stack is maintained even while no profiling session runs
+/// (a push/pop is two stores), because CAPSP_CHECK failures report the
+/// active scope stack as crash context (util/check.cpp); the clock
+/// reads and kernel accounting stay gated on prof_enabled().
 class ProfScope {
  public:
-  explicit ProfScope(const char* name) {
-    if (!prof_enabled()) return;
-    enter(name);
-  }
+  explicit ProfScope(const char* name) { enter(name); }
   ~ProfScope() {
     if (active_) leave();
   }
@@ -109,6 +113,7 @@ class ProfScope {
 
   const char* name_ = nullptr;
   bool active_ = false;
+  bool timed_ = false;  ///< a session was running when the scope opened
   std::int64_t ops_ = 0;
   std::int64_t bytes_ = 0;
   std::chrono::steady_clock::time_point start_{};

@@ -53,8 +53,12 @@ Fixture make_fixture(Vertex side, std::int64_t tile_dim,
   f.graph = make_grid2d(side, side, rng);
   f.matrix = reference_apsp(f.graph);
   if (file_backed) {
+    // Pid-unique: parallel ctest runs several test_serve processes, and
+    // a shared path would let one process O_TRUNC a snapshot another is
+    // mid-pread on (a real read error -> spurious quarantine/degraded).
     f.path = ::testing::TempDir() + "/capsp_serve_" +
-             std::to_string(side) + "_" + std::to_string(tile_dim) + ".snap";
+             std::to_string(::getpid()) + "_" + std::to_string(side) +
+             "_" + std::to_string(tile_dim) + ".snap";
     write_snapshot(f.path, f.matrix, tile_dim);
     f.reader = std::make_shared<SnapshotReader>(f.path);
   } else {

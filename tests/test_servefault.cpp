@@ -7,6 +7,7 @@
 // replies that are never wrong answers, the worker watchdog, and
 // sanitizer-friendly chaos soaks with eviction churn.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -48,8 +49,11 @@ Fixture make_fixture(Vertex side, std::int64_t tile_dim) {
   Rng rng(42);
   f.graph = make_grid2d(side, side, rng);
   f.matrix = reference_apsp(f.graph);
+  // Pid-unique so parallel ctest processes never truncate each other's
+  // live snapshot (that would inject a real, unplanned read fault).
   f.path = ::testing::TempDir() + "/capsp_servefault_" +
-           std::to_string(side) + "_" + std::to_string(tile_dim) + ".snap";
+           std::to_string(::getpid()) + "_" + std::to_string(side) + "_" +
+           std::to_string(tile_dim) + ".snap";
   write_snapshot(f.path, f.matrix, tile_dim);
   f.reader = std::make_shared<SnapshotReader>(f.path);
   return f;

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -532,6 +533,66 @@ TEST(TelemetryServer, QueryStringReachesTheHandler) {
   EXPECT_NE(body_of(http_get(port, "/echo?x=7&y=8")).find("7\n"),
             std::string::npos);
   EXPECT_NE(body_of(http_get(port, "/echo")).find("none\n"),
+            std::string::npos);
+}
+
+TEST(TelemetryQueryParam, MalformedAndDuplicatedQueries) {
+  // First occurrence wins for duplicated keys (so ?seconds=2&seconds=900
+  // cannot smuggle a huge window past a validator that reads once).
+  EXPECT_EQ(telemetry_query_param("seconds=2&seconds=900", "seconds", "d"),
+            "2");
+  // Exact-key matching: neither a prefix nor a suffix of the key hits.
+  EXPECT_EQ(telemetry_query_param("xseconds=5", "seconds", "d"), "d");
+  EXPECT_EQ(telemetry_query_param("secondsx=5", "seconds", "d"), "d");
+  EXPECT_EQ(telemetry_query_param("s=1&seconds=4", "seconds", "d"), "4");
+  // Malformed fragments (empty pairs, bare keys, stray separators) are
+  // skipped, not fatal.
+  EXPECT_EQ(telemetry_query_param("&&==&seconds=3&", "seconds", "d"), "3");
+  EXPECT_EQ(telemetry_query_param("seconds", "seconds", "d"), "d");
+  EXPECT_EQ(telemetry_query_param("seconds=", "seconds", "d"), "d");
+  EXPECT_EQ(telemetry_query_param("", "seconds", "d"), "d");
+  // A value containing '=' keeps everything after the first one.
+  EXPECT_EQ(telemetry_query_param("f=a=b", "f", "d"), "a=b");
+}
+
+TEST(TelemetryServer, ProfileStyleValidationOfEdgeCaseQueries) {
+  // A handler with /profile's exact validation pattern (strtod + range
+  // check): parsing edge cases must come back 400, never crash, and
+  // duplicated parameters must resolve to the first value.
+  TelemetryServer server;
+  server.handle("/window", [](const std::string& query) {
+    char* end = nullptr;
+    const std::string seconds_str =
+        telemetry_query_param(query, "seconds", "2");
+    const double parsed = std::strtod(seconds_str.c_str(), &end);
+    if (end == seconds_str.c_str() || !(parsed > 0))
+      return TelemetryResponse{400, "text/plain", "bad seconds\n"};
+    return TelemetryResponse{200, "text/plain",
+                             "seconds=" + seconds_str + "\n"};
+  });
+  const int port = server.start(0);
+  ASSERT_GT(port, 0);
+  EXPECT_NE(body_of(http_get(port, "/window?seconds=3")).find("seconds=3"),
+            std::string::npos);
+  // Duplicated parameter: first wins, the 900 never reaches strtod.
+  EXPECT_NE(body_of(http_get(port, "/window?seconds=3&seconds=900"))
+                .find("seconds=3"),
+            std::string::npos);
+  for (const char* bad :
+       {"/window?seconds=abc", "/window?seconds=-1", "/window?seconds=0",
+        "/window?seconds=nanx"}) {
+    EXPECT_NE(http_get(port, bad).find("HTTP/1.1 400"), std::string::npos)
+        << bad;
+  }
+  // Absent / empty / malformed queries fall back to the default, 200.
+  for (const char* ok :
+       {"/window", "/window?", "/window?&&", "/window?seconds=",
+        "/window?other=5"}) {
+    EXPECT_NE(http_get(port, ok).find("HTTP/1.1 200"), std::string::npos)
+        << ok;
+  }
+  // Unknown paths 404 even with well-formed queries attached.
+  EXPECT_NE(http_get(port, "/windows?seconds=2").find("HTTP/1.1 404"),
             std::string::npos);
 }
 

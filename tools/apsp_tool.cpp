@@ -38,7 +38,9 @@
 #include "serve/snapshot.hpp"
 #include "util/buildinfo.hpp"
 #include "util/cli.hpp"
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/prof.hpp"
 #include "util/table.hpp"
@@ -90,6 +92,16 @@ void print_help() {
       "  --profile-folded <path>  flamegraph-ready folded stacks\n"
       "  --profile-json <path>    full ProfReport JSON (also embedded in\n"
       "                           --metrics-json next to the oracle section)\n"
+      "\n"
+      "logging (any mode; see docs/observability.md):\n"
+      "  --log-level <level>      structured-log sink threshold: trace|\n"
+      "                           debug|info|warn|error|off (default warn;\n"
+      "                           overrides CAPSP_LOG_LEVEL)\n"
+      "  --log-json               JSON-lines log output (or CAPSP_LOG_JSON=1)\n"
+      "  --flightrec <path>       arm the black-box flight recorder: CHECK\n"
+      "                           failures, deadlocks, fatal signals and\n"
+      "                           SIGTERM dump the last events of every\n"
+      "                           thread here (or CAPSP_FLIGHTREC_DUMP)\n"
       "  --version                build/host provenance, then exit\n"
       "\n"
       "exit codes:\n"
@@ -259,16 +271,22 @@ void apply_robustness_flags(const Cli& cli, SparseApspOptions& options) {
   options.recv_timeout = cli.get_double("recv-timeout", 0);
 }
 
-/// A run the watchdog declared dead: print the structured report, write
-/// it as JSON where the cost report would have gone, exit code 3.
+/// A run the watchdog declared dead: one structured error event, the
+/// full report body on stderr (the documented exit-code-3 artifact),
+/// the JSON report where the cost report would have gone, exit code 3.
 int report_deadlock(const Cli& cli, const DeadlockReport& report) {
+  CAPSP_LOG(kError, "apsp_tool.deadlock",
+            {"blocked", report.blocked.size()}, {"dead", report.dead.size()},
+            {"cycle", report.cycle.size()},
+            {"budget_seconds", report.budget_seconds});
   std::cerr << report.to_string();
   const std::string report_path = cli.get_string("report-json", "");
   if (!report_path.empty()) {
     std::ofstream out(report_path);
     CAPSP_CHECK_MSG(out, "cannot write --report-json file " << report_path);
     write_deadlock_report_json(out, report);
-    std::cerr << "wrote deadlock report to " << report_path << "\n";
+    CAPSP_LOG(kInfo, "apsp_tool.deadlock_report_written",
+              {"path", report_path});
   }
   return 3;
 }
@@ -516,6 +534,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::string mode = cli.get_string("mode", "solve");
+    log_configure_tool(cli.get_string("log-level", ""),
+                       cli.get_bool("log-json", false), "warn");
+    const std::string flightrec = cli.get_string("flightrec", "");
+    if (!flightrec.empty()) flightrec::set_dump_path(flightrec);
+    flightrec::install_crash_handlers();
+    flightrec::install_term_drain_handler();
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
     if (cli.get_bool("profile", false)) {
       ProfOptions prof_options;
@@ -534,15 +558,15 @@ int main(int argc, char** argv) {
     } else if (mode == "query") {
       status = mode_query(cli, rng);
     } else {
-      std::cerr << "unknown --mode '" << mode
-                << "' (solve|partition|query|gen)\n";
+      CAPSP_LOG(kError, "apsp_tool.usage", {"mode", mode},
+                {"expected", "solve|partition|query|gen"});
       return 2;
     }
     if (const ProfReport* prof = finish_profiler(); prof != nullptr)
       emit_profile_outputs(cli, *prof);
     return status;
   } catch (const capsp::check_error& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    CAPSP_LOG(kError, "apsp_tool.fatal", {"what", e.what()});
     return 1;
   }
 }

@@ -17,6 +17,7 @@
 #include "util/bench_compare.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -110,11 +111,14 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    capsp::log_configure_tool(cli.get_string("log-level", ""),
+                              cli.get_bool("log-json", false), "warn");
     const std::string baseline = cli.get_string("baseline", "");
     const std::string candidate = cli.get_string("candidate", "");
     if (baseline.empty() || candidate.empty()) {
-      std::cerr << "bench_diff: --baseline and --candidate are required "
-                   "(--help for usage)\n";
+      CAPSP_LOG(kError, "bench_diff.usage",
+                {"what", "--baseline and --candidate are required "
+                         "(--help for usage)"});
       return 2;
     }
 
@@ -167,10 +171,10 @@ int main(int argc, char** argv) {
               << (report.exit_code() == 0 ? "PASS" : "FAIL") << "\n";
     return report.exit_code();
   } catch (const capsp::check_error& e) {
-    std::cerr << "bench_diff: " << e.what() << "\n";
+    CAPSP_LOG(kError, "bench_diff.fatal", {"what", e.what()});
     return 2;
   } catch (const std::exception& e) {
-    std::cerr << "bench_diff: " << e.what() << "\n";
+    CAPSP_LOG(kError, "bench_diff.fatal", {"what", e.what()});
     return 2;
   }
 }

@@ -58,7 +58,9 @@
 #include "serve/snapshot.hpp"
 #include "util/buildinfo.hpp"
 #include "util/cli.hpp"
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/prof.hpp"
 #include "util/rng.hpp"
 
@@ -161,6 +163,20 @@ void print_help() {
       "  --profile-json <path>    full ProfReport JSON\n"
       "  (a live service also exposes /profile?seconds=N on the\n"
       "   --telemetry-port endpoint for windowed captures)\n"
+      "\n"
+      "logging (docs/observability.md):\n"
+      "  --log-level <level>      structured-log sink threshold: trace|\n"
+      "                           debug|info|warn|error|off (default warn;\n"
+      "                           overrides CAPSP_LOG_LEVEL)\n"
+      "  --log-json               JSON-lines log output (or CAPSP_LOG_JSON=1)\n"
+      "  --flightrec <path>       arm the black-box flight recorder: CHECK\n"
+      "                           failures, fatal signals and SIGTERM dump\n"
+      "                           the last events of every thread here (or\n"
+      "                           CAPSP_FLIGHTREC_DUMP); a fault plan also\n"
+      "                           raises the recorder to trace so the dump\n"
+      "                           carries per-request events\n"
+      "  (a live service also exposes /logs?n=N and /debug/flightrec on\n"
+      "   the --telemetry-port endpoint)\n"
       "  --version                build/host provenance, then exit\n"
       "\n"
       "exit codes:\n"
@@ -575,8 +591,12 @@ int run_chaos(const Cli& cli, const std::shared_ptr<SnapshotReader>& reader,
             << "\n";
   std::cout << "chaos: final health " << to_string(chaos.final_health)
             << "\n";
-  if (g_interrupted != 0)
+  if (g_interrupted != 0) {
     std::cout << "chaos: interrupted; drained clients, emitting summary\n";
+    // The graceful drain preempts the flight recorder's own SIGTERM
+    // handler, so a soak killed mid-run writes its black box here.
+    flightrec::dump_if_configured("sigterm_drain");
+  }
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
 
@@ -684,6 +704,12 @@ int mode_serve(const Cli& cli, Rng& rng) {
   const ServeFaultPlan plan = plan_spec.empty()
                                   ? ServeFaultPlan{}
                                   : ServeFaultPlan::parse(plan_spec);
+  // Chaos runs record per-request kTrace events (job start/done, fault
+  // injections, retries) into the flight recorder, so a dump from a
+  // dying soak names the in-flight request ids.  Sink level is
+  // untouched: the rings are cheap, the console stays quiet.
+  if (!plan_spec.empty())
+    Logger::global().set_ring_level(LogLevel::kTrace);
   options.resilience = !cli.get_bool("no-resilience", false);
   options.retry.max_attempts =
       static_cast<int>(cli.get_int("retry-max", 4));
@@ -801,8 +827,10 @@ int mode_serve(const Cli& cli, Rng& rng) {
     for (std::thread& t : pool) t.join();
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
-    if (g_interrupted != 0)
+    if (g_interrupted != 0) {
       std::cout << "soak interrupted; drained clients, emitting summary\n";
+      flightrec::dump_if_configured("sigterm_drain");
+    }
   } else {
     // Closed loop: each client issues its stride of the workload
     // back-to-back; slot-per-query results keep aggregation
@@ -1064,6 +1092,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::string mode = cli.get_string("mode", "serve");
+    log_configure_tool(cli.get_string("log-level", ""),
+                       cli.get_bool("log-json", false), "warn");
+    const std::string flightrec = cli.get_string("flightrec", "");
+    if (!flightrec.empty()) flightrec::set_dump_path(flightrec);
+    flightrec::install_crash_handlers();
+    flightrec::install_term_drain_handler();
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
     // Start before the service spawns its workers so perf counters (when
     // the host grants them) inherit into every worker thread.
@@ -1079,13 +1113,14 @@ int main(int argc, char** argv) {
     } else if (mode == "serve") {
       status = mode_serve(cli, rng);
     } else {
-      std::cerr << "unknown --mode '" << mode << "' (serve|upgrade)\n";
+      CAPSP_LOG(kError, "serve_tool.usage", {"mode", mode},
+                {"expected", "serve|upgrade"});
     }
     if (Profiler::global().running())
       emit_profile_outputs(cli, Profiler::global().stop());
     return status;
   } catch (const capsp::check_error& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    CAPSP_LOG(kError, "serve_tool.fatal", {"what", e.what()});
     return 1;
   }
 }
